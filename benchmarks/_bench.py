@@ -1,0 +1,18 @@
+"""Importable helpers for the benchmark files.
+
+Lives in its own module (not conftest.py) so that the name does not
+collide with tests/conftest.py when both trees are collected in one
+pytest invocation.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark clock.
+
+    The experiments are deterministic simulations, not microbenchmarks;
+    one round gives the meaningful wall-clock figure without multiplying
+    multi-second runs.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

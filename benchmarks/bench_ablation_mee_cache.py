@@ -1,0 +1,36 @@
+"""Ablation (Sec. 6.2): the MEE metadata cache.
+
+Paper: "To alleviate performance overheads, the MEE is equipped with an
+internal 'MEE cache' that stores the metadata of the authentication
+tree."  This sweep shows DRAM metadata traffic per protected read
+collapsing as the cache grows.
+"""
+
+from repro.analysis.ablations import mee_cache_ablation
+from repro.analysis.report import format_table
+
+from _bench import run_once
+
+
+def test_ablation_mee_cache_size(benchmark, emit):
+    rows_data = run_once(benchmark, mee_cache_ablation)
+
+    rows = [
+        [
+            row.cache_nodes,
+            f"{row.hit_rate:.1%}",
+            f"{row.metadata_accesses_per_read:.2f}",
+        ]
+        for row in rows_data
+    ]
+    emit(format_table(
+        ["cache capacity (nodes)", "hit rate", "DRAM metadata accesses / read"],
+        rows,
+        title="Sec. 6.2 ablation - MEE metadata cache size",
+    ))
+
+    assert rows_data[-1].hit_rate > rows_data[0].hit_rate
+    assert (
+        rows_data[-1].metadata_accesses_per_read
+        < rows_data[0].metadata_accesses_per_read
+    )

@@ -1,0 +1,35 @@
+"""Ablation (Sec. 4.1.3): Step fractional bits vs drift vs calibration time.
+
+Paper: Eq. 4 yields f = 21 for 1 ppb; fewer bits drift more, more bits
+calibrate longer (the window spans 2^f slow cycles).
+"""
+
+from repro.analysis.ablations import step_bits_ablation
+from repro.analysis.report import format_table
+
+from _bench import run_once
+
+
+def test_ablation_step_fractional_bits(benchmark, emit):
+    rows_data = run_once(benchmark, step_bits_ablation)
+
+    rows = [
+        [
+            row.fractional_bits,
+            f"{row.worst_case_drift_ppb:.2f} ppb",
+            "yes" if row.meets_1ppb else "no",
+            f"{row.calibration_seconds:.1f} s",
+        ]
+        for row in rows_data
+    ]
+    emit(format_table(
+        ["fractional bits f", "worst-case drift", "meets 1 ppb", "calibration time"],
+        rows,
+        title="Sec. 4.1.3 ablation - Step precision vs calibration cost",
+    ))
+
+    by_bits = {row.fractional_bits: row for row in rows_data}
+    assert not by_bits[20].meets_1ppb
+    assert by_bits[21].meets_1ppb  # the paper's choice is the knee
+    drifts = [row.worst_case_drift_ppb for row in rows_data]
+    assert drifts == sorted(drifts, reverse=True)

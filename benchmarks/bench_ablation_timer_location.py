@@ -1,0 +1,36 @@
+"""Ablation (Sec. 4.1.1): where should the slow timer live?
+
+Paper: bringing the 32 kHz crystal into the processor would also allow
+killing the 24 MHz crystal, but costs extra (expensive) IO pins and their
+power — and leaves the processor as the wake hub, blocking the AON IO
+gating of technique 2.  The chipset-side dual timer wins on all counts.
+"""
+
+from repro.analysis.ablations import timer_location_ablation
+from repro.analysis.report import format_table
+
+from _bench import run_once
+
+
+def test_ablation_timer_location(benchmark, emit):
+    rows_data = run_once(benchmark, timer_location_ablation)
+
+    rows = [
+        [
+            row.design,
+            f"{row.drips_saving_mw:.2f} mW",
+            row.extra_processor_pins,
+            "yes" if row.enables_io_gating else "no",
+        ]
+        for row in rows_data
+    ]
+    emit(format_table(
+        ["design alternative", "DRIPS saving", "extra pins", "enables AON-IO-GATE"],
+        rows,
+        title="Sec. 4.1.1 ablation - slow-timer location",
+    ))
+
+    into_processor, into_chipset = rows_data
+    assert into_chipset.drips_saving_mw > into_processor.drips_saving_mw
+    assert into_chipset.extra_processor_pins == 0
+    assert into_chipset.enables_io_gating and not into_processor.enables_io_gating

@@ -1,0 +1,55 @@
+"""Sec. 4.1.3: Step register sizing and timer precision.
+
+Paper: for 1 ppb precision at 24 MHz / 32.768 kHz the Step needs m = 10
+integer and f = 21 fractional bits; the calibration counts fast edges
+over 2^f slow cycles and runs once per reset.
+"""
+
+from repro.analysis.report import format_table
+from repro.clocks.crystal import CrystalOscillator
+from repro.core.experiments import sec413_calibration
+from repro.timers.calibration import StepCalibrator
+
+from _bench import run_once
+
+
+def test_sec413_step_register_sizing(benchmark, emit):
+    result = run_once(benchmark, sec413_calibration)
+
+    rows = [
+        ["integer bits m (Eq. 2)", result.integer_bits, result.paper_integer_bits],
+        ["fractional bits f (Eq. 4)", result.fractional_bits, result.paper_fractional_bits],
+        ["worst-case drift", f"{result.worst_case_drift_ppb:.2f} ppb", "<1 ppb"],
+    ]
+    emit(format_table(["quantity", "measured", "paper"], rows,
+                      title="Sec. 4.1.3 - Step register sizing"))
+
+    assert result.integer_bits == 10
+    assert result.fractional_bits == 21
+
+
+def test_sec413_calibration_accuracy(benchmark, emit):
+    """Run the actual calibration and compare Step to the true ratio."""
+
+    def calibrate():
+        fast = CrystalOscillator("x24", 24e6, ppm_error=10.0)
+        slow = CrystalOscillator("x32", 32768.0, ppm_error=-5.0)
+        calibrator = StepCalibrator.for_precision(fast, slow)
+        result = calibrator.run(0)
+        true_ratio = fast.effective_hz / slow.effective_hz
+        return result, true_ratio
+
+    result, true_ratio = run_once(benchmark, calibrate)
+    error_ppb = abs(result.step.to_float() / true_ratio - 1.0) * 1e9
+
+    rows = [
+        ["calibration window", f"{result.duration_ps / 1e12:.1f} s", "several seconds"],
+        ["N_slow (2^f cycles)", result.n_slow, 2**21],
+        ["measured Step", f"{result.step.to_float():.7f}", "-"],
+        ["true frequency ratio", f"{true_ratio:.7f}", "-"],
+        ["Step error", f"{error_ppb:.2f} ppb", "~1 ppb"],
+    ]
+    emit(format_table(["quantity", "measured", "paper"], rows,
+                      title="Sec. 4.1.3 - run-time Step calibration"))
+
+    assert error_ppb < 2.0

@@ -1,0 +1,33 @@
+"""Fig. 1(b): breakdown of platform power consumption in DRIPS.
+
+Paper: ~60 mW total at 30 C with 8 GB DDR3L-1600; processor 18 %; within
+it the wake-up hardware ~5 % (timer/monitor + 24 MHz crystal), AON IOs
+7 %, S/R SRAMs 9 %.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.experiments import fig1b_breakdown
+
+from _bench import run_once
+
+
+def test_fig1b_drips_power_breakdown(benchmark, emit):
+    result = run_once(benchmark, fig1b_breakdown)
+
+    rows = [
+        ["platform DRIPS power", f"{result.platform_drips_mw:.1f} mW", "~60 mW"],
+        ["wake-up hw (timer + 24 MHz XTAL)", f"{result.wakeup_and_crystal:.1%}", "~5 %"],
+        ["AON IOs", f"{result.shares['aon_ios']:.1%}", "7 %"],
+        ["S/R SRAMs", f"{result.shares['sr_srams']:.1%}", "9 %"],
+        ["processor total", f"{result.processor_total:.1%}", "18 %"],
+        ["chipset", f"{result.shares['chipset']:.1%}", "-"],
+        ["DRAM self-refresh", f"{result.shares['dram_self_refresh']:.1%}", "-"],
+        ["rest of board", f"{result.shares['board_other']:.1%}", "-"],
+    ]
+    emit(format_table(["component", "measured", "paper"], rows,
+                      title="Fig. 1(b) - DRIPS power breakdown"))
+
+    assert abs(result.wakeup_and_crystal - 0.05) < 0.01
+    assert abs(result.shares["aon_ios"] - 0.07) < 0.01
+    assert abs(result.shares["sr_srams"] - 0.09) < 0.01
+    assert abs(result.processor_total - 0.18) < 0.01

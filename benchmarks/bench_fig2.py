@@ -1,0 +1,28 @@
+"""Fig. 2: average power of the connected-standby mode (baseline).
+
+Paper: 99.5 % of the time in DRIPS at ~60 mW, 0.5 % active at ~3 W
+(display off), periodic ~30 s idle intervals with 100-300 ms kernel
+maintenance bursts.
+"""
+
+from repro.core.experiments import fig2_connected_standby
+
+from _bench import run_once
+from repro.analysis.report import format_table
+
+
+def test_fig2_connected_standby_average_power(benchmark, emit):
+    result = run_once(benchmark, fig2_connected_standby, cycles=2)
+
+    rows = [
+        ["DRIPS residency", f"{result.drips_residency:.2%}", "99.5 %"],
+        ["DRIPS power", f"{result.drips_power_mw:.1f} mW", "~60 mW"],
+        ["Active (C0, display off) power", f"{result.active_power_w:.2f} W", "~3 W"],
+        ["connected-standby average", f"{result.average_power_mw:.1f} mW", "~75 mW"],
+    ]
+    emit(format_table(["quantity", "measured", "paper"], rows,
+                      title="Fig. 2 - connected-standby operation (baseline)"))
+
+    assert abs(result.drips_residency - 0.995) < 0.002
+    assert abs(result.drips_power_mw - 60.0) < 1.0
+    assert abs(result.active_power_w - 3.0) < 0.2

@@ -1,0 +1,36 @@
+"""Fig. 6(b): ODRIPS average power while scaling core frequency.
+
+Paper: vs the 0.8 GHz baseline, 1.0 GHz saves ~1.4 % and 1.5 GHz costs
+~1 % — the best frequency for connected standby lies strictly between.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.experiments import fig6b_core_frequency
+
+from _bench import run_once
+
+
+def test_fig6b_core_frequency_scaling(benchmark, emit):
+    rows_data = run_once(benchmark, fig6b_core_frequency, cycles=2)
+
+    rows = []
+    for row in rows_data:
+        paper = "-" if row.paper_delta is None else f"{row.paper_delta:+.1%}"
+        rows.append(
+            [
+                f"{row.parameter:.1f} GHz",
+                f"{row.average_power_mw:.2f} mW",
+                f"{row.delta_vs_reference:+.2%}",
+                paper,
+            ]
+        )
+    emit(format_table(
+        ["core frequency", "avg power", "delta vs 0.8 GHz", "paper delta"],
+        rows,
+        title="Fig. 6(b) - effect of increasing core frequency (ODRIPS)",
+    ))
+
+    deltas = {row.parameter: row.delta_vs_reference for row in rows_data}
+    assert deltas[1.0] < 0 < deltas[1.5]
+    assert abs(deltas[1.0] - (-0.014)) < 0.01
+    assert abs(deltas[1.5] - 0.01) < 0.01

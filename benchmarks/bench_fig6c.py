@@ -1,0 +1,64 @@
+"""Fig. 6(c): ODRIPS average power while scaling DRAM frequency.
+
+Paper: vs DDR3L-1600, running at 1.067 GHz saves ~0.3 % and at 0.8 GHz
+~0.7 %, while the lower bandwidth stretches the entry/exit flows (the
+context save/restore takes longer).
+"""
+
+from repro.analysis.report import format_table
+from repro.core.experiments import fig6c_dram_frequency, sec63_context_latency
+from repro.config import PlatformConfig, skylake_config
+import dataclasses
+
+from _bench import run_once
+
+
+def test_fig6c_dram_frequency_scaling(benchmark, emit):
+    rows_data = run_once(benchmark, fig6c_dram_frequency, cycles=2)
+
+    rows = []
+    for row in rows_data:
+        paper = "-" if row.paper_delta is None else f"{row.paper_delta:+.1%}"
+        rows.append(
+            [
+                f"{row.parameter / 1e9:.3f} GHz",
+                f"{row.average_power_mw:.2f} mW",
+                f"{row.delta_vs_reference:+.2%}",
+                paper,
+            ]
+        )
+    emit(format_table(
+        ["DRAM rate", "avg power", "delta vs 1.6 GHz", "paper delta"],
+        rows,
+        title="Fig. 6(c) - effect of reducing DRAM frequency (ODRIPS)",
+    ))
+
+    deltas = {row.parameter: row.delta_vs_reference for row in rows_data}
+    assert deltas[0.8e9] < deltas[1.067e9] < 0
+    assert abs(deltas[0.8e9] - (-0.007)) < 0.006
+
+
+def test_fig6c_lower_bandwidth_stretches_context_transfer(benchmark, emit):
+    """Observation 2 of Sec. 8.2: save/restore latency grows as DRAM slows."""
+
+    def measure():
+        out = []
+        for rate in (1.6e9, 1.067e9, 0.8e9):
+            config = dataclasses.replace(skylake_config(), dram_rate_hz=rate)
+            result = sec63_context_latency(config)
+            out.append((rate, result.save_us, result.restore_us))
+        return out
+
+    points = run_once(benchmark, measure)
+    rows = [
+        [f"{rate / 1e9:.3f} GHz", f"{save:.1f} us", f"{restore:.1f} us"]
+        for rate, save, restore in points
+    ]
+    emit(format_table(
+        ["DRAM rate", "context save", "context restore"],
+        rows,
+        title="Fig. 6(c) companion - context transfer vs DRAM frequency",
+    ))
+
+    saves = [save for _r, save, _x in points]
+    assert saves[0] < saves[1] < saves[2]

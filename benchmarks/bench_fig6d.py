@@ -1,0 +1,51 @@
+"""Fig. 6(d): ODRIPS with emerging memory technologies for the context.
+
+Paper: ODRIPS-MRAM is slightly below ODRIPS with the lowest break-even
+point; ODRIPS-PCM cuts baseline average power by 37 % (an extra ~15 %
+over ODRIPS) because PCM's non-volatility removes both DRAM self-refresh
+and the CKE drive.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.experiments import fig6d_emerging_memories
+
+from _bench import run_once
+
+
+def test_fig6d_emerging_memories(benchmark, emit):
+    rows_data = run_once(benchmark, fig6d_emerging_memories, cycles=2)
+
+    rows = [
+        [
+            row.label,
+            f"{row.average_power_mw:.1f} mW",
+            f"{row.saving_vs_baseline:.1%}",
+            f"{row.paper_saving:.1%}",
+        ]
+        for row in rows_data
+    ]
+    emit(format_table(
+        ["configuration", "avg power", "saving vs baseline", "paper"],
+        rows,
+        title="Fig. 6(d) - emerging memory technologies",
+    ))
+
+    savings = {row.label: row.saving_vs_baseline for row in rows_data}
+    assert savings["ODRIPS-PCM"] > savings["ODRIPS-MRAM"] >= savings["ODRIPS"] - 0.002
+    assert abs(savings["ODRIPS-PCM"] - 0.37) < 0.025
+
+
+def test_fig6d_mram_has_lowest_break_even(benchmark, emit):
+    """Fig. 6(d) observation 1: ODRIPS-MRAM's break-even is the lowest."""
+    rows_data = run_once(benchmark, fig6d_emerging_memories, cycles=3,
+                         with_break_even=True)
+    rows = [
+        [row.label, f"{row.break_even_ms:.1f} ms"] for row in rows_data
+        if row.break_even_ms is not None
+    ]
+    emit(format_table(["configuration", "break-even"], rows,
+                      title="Fig. 6(d) - break-even points"))
+
+    by_label = {row.label: row.break_even_ms for row in rows_data}
+    assert by_label["ODRIPS-MRAM"] < by_label["ODRIPS"]
+    assert by_label["ODRIPS-MRAM"] < by_label["ODRIPS-PCM"]

@@ -1,0 +1,51 @@
+"""Sec. 7 flow characteristics: entry/exit latency and residencies.
+
+Paper: the baseline platform enters DRIPS in ~200 us, exits in ~300 us,
+spends ~30 s idle per cycle, and lands at 99.5 % DRIPS residency; ODRIPS
+adds a few tens of microseconds per transition.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.odrips import ODRIPSController
+from repro.core.techniques import TechniqueSet
+
+from _bench import run_once
+
+
+def test_flow_latencies_baseline_vs_odrips(benchmark, emit):
+    def measure():
+        out = {}
+        for label, techniques in [
+            ("Baseline", TechniqueSet.baseline()),
+            ("ODRIPS", TechniqueSet.odrips()),
+        ]:
+            measurement = ODRIPSController(techniques).measure(cycles=2)
+            out[label] = measurement
+        return out
+
+    results = run_once(benchmark, measure)
+
+    rows = []
+    for label, measurement in results.items():
+        rows.append(
+            [
+                label,
+                f"{measurement.entry_latency_us:.0f} us",
+                f"{measurement.exit_latency_us:.0f} us",
+                f"{measurement.drips_residency:.2%}",
+            ]
+        )
+    rows.append(["paper (baseline)", "~200 us", "~300 us", "99.5 %"])
+    emit(format_table(
+        ["configuration", "entry latency", "exit latency", "DRIPS residency"],
+        rows,
+        title="Sec. 7 - flow latencies and residency",
+    ))
+
+    baseline = results["Baseline"]
+    odrips = results["ODRIPS"]
+    assert abs(baseline.entry_latency_us - 200) < 15
+    assert abs(baseline.exit_latency_us - 300) < 15
+    # ODRIPS adds tens of microseconds, not milliseconds
+    assert 10 < odrips.exit_latency_us - baseline.exit_latency_us < 200
+    assert 10 < odrips.entry_latency_us - baseline.entry_latency_us < 200

@@ -1,0 +1,72 @@
+"""Generation comparison: Haswell-ULT baseline vs Skylake (Table 1, Sec. 3).
+
+The paper measured its baseline numbers on Haswell-ULT (22 nm) and scaled
+them to Skylake (14 nm).  Two facts from the text are checked here:
+
+* Haswell's DRIPS (C10) exit latency is ~3 ms; "the voltage regulator
+  re-initialization latency was optimized in the Skylake platform and
+  reduced to few hundreds of microseconds" (Sec. 3).
+* The 22 nm parts draw more leakage than their 14 nm equivalents (the
+  scaling step of the Sec. 7 methodology).
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.scaling import scaling_factor
+from repro.config import PROCESS_14NM, PROCESS_22NM, haswell_config, skylake_config
+from repro.core.odrips import ODRIPSController
+from repro.core.techniques import TechniqueSet
+
+from _bench import run_once
+
+
+def test_haswell_vs_skylake_baseline(benchmark, emit):
+    def measure():
+        results = {}
+        for label, config in [("Haswell-ULT", haswell_config()),
+                              ("Skylake", skylake_config())]:
+            controller = ODRIPSController(TechniqueSet.baseline(), config=config)
+            results[label] = controller.measure(cycles=1)
+        return results
+
+    results = run_once(benchmark, measure)
+
+    rows = []
+    for label, measurement in results.items():
+        rows.append(
+            [
+                label,
+                f"{measurement.drips_power_w * 1e3:.1f} mW",
+                f"{measurement.exit_latency_us:.0f} us",
+                f"{measurement.average_power_w * 1e3:.1f} mW",
+            ]
+        )
+    rows.append(["paper (Haswell exit)", "-", "~3000 us", "-"])
+    emit(format_table(
+        ["platform", "DRIPS power", "exit latency", "avg power"],
+        rows,
+        title="Generation comparison - Haswell-ULT (22nm) vs Skylake (14nm)",
+    ))
+
+    haswell = results["Haswell-ULT"]
+    skylake = results["Skylake"]
+    assert abs(haswell.exit_latency_us - 3000) < 100   # C10 exit ~3 ms
+    assert abs(skylake.exit_latency_us - 300) < 15
+    assert haswell.drips_power_w > skylake.drips_power_w  # 22nm leaks more
+
+
+def test_process_scaling_factors(benchmark, emit):
+    def factors():
+        return {
+            "leakage": scaling_factor(PROCESS_22NM, PROCESS_14NM, "leakage"),
+            "dynamic": scaling_factor(PROCESS_22NM, PROCESS_14NM, "dynamic"),
+        }
+
+    result = run_once(benchmark, factors)
+    rows = [
+        ["leakage power (22nm -> 14nm)", f"x{result['leakage']:.2f}"],
+        ["dynamic power (22nm -> 14nm)", f"x{result['dynamic']:.2f}"],
+    ]
+    emit(format_table(["power term", "scaling factor"], rows,
+                      title="Sec. 7 - process scaling step"))
+    assert result["leakage"] < 1.0
+    assert result["dynamic"] < 1.0

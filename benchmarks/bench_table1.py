@@ -1,0 +1,17 @@
+"""Table 1: baseline and target system parameters."""
+
+from repro.analysis.report import format_table
+from repro.core.experiments import table1_parameters
+
+from _bench import run_once
+
+
+def test_table1_system_parameters(benchmark, emit):
+    rows_data = run_once(benchmark, table1_parameters)
+    rows = [[name, value, note] for name, (value, note) in rows_data.items()]
+    emit(format_table(["parameter", "value", "process"], rows,
+                      title="Table 1 - baseline and target system parameters"))
+
+    assert "Skylake" in rows_data["Processor (target)"][0]
+    assert "Sunrise Point-LP" in rows_data["Chipset (target)"][0]
+    assert "8 GB" in rows_data["Memory"][0]

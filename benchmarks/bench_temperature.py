@@ -1,0 +1,40 @@
+"""Extension: DRIPS power vs temperature (the Fig. 1(b) "30 C" qualifier).
+
+The paper measures its ~60 mW DRIPS power "at 30 C" because most of the
+DRIPS budget is leakage, and leakage roughly doubles every ~22 C.  This
+sweep quantifies how much that qualifier matters.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.scaling import drips_power_at_temperature
+from repro.config import skylake_config
+
+from _bench import run_once
+
+
+def test_extension_drips_power_vs_temperature(benchmark, emit):
+    budget = skylake_config().budget
+
+    def sweep():
+        return [
+            (temp, drips_power_at_temperature(budget, temp))
+            for temp in (10.0, 20.0, 30.0, 40.0, 50.0, 60.0)
+        ]
+
+    points = run_once(benchmark, sweep)
+    reference = dict(points)[30.0]
+    rows = [
+        [f"{temp:.0f} C", f"{watts * 1e3:.1f} mW", f"{watts / reference - 1:+.1%}"]
+        for temp, watts in points
+    ]
+    emit(format_table(
+        ["temperature", "DRIPS power", "delta vs 30 C"],
+        rows,
+        title="Extension - DRIPS power vs temperature",
+    ))
+
+    by_temp = dict(points)
+    assert by_temp[30.0] * 1e3 == round(budget.platform_total_w() * 1e3, 6)
+    assert by_temp[50.0] > by_temp[30.0] > by_temp[10.0]
+    # leakage dominance: +20 C costs tens of percent, not single digits
+    assert (by_temp[50.0] / by_temp[30.0] - 1) > 0.15

@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and prints the
+paper-vs-measured rows to the terminal (bypassing pytest capture), then
+registers the simulation run with pytest-benchmark so ``--benchmark-only``
+also reports wall-clock cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print ``text`` straight to the terminal, outside pytest capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit

@@ -1,0 +1,44 @@
+"""Quickstart: measure baseline DRIPS vs ODRIPS on the simulated platform.
+
+Runs the connected-standby workload of the paper (Sec. 7: ~30 s idle
+intervals, ~145 ms kernel-maintenance bursts) on the baseline Skylake
+platform and on the same platform with all three ODRIPS techniques, and
+prints the headline numbers of Fig. 6(a).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ODRIPSController, TechniqueSet
+from repro.analysis.report import format_table
+
+
+def main() -> None:
+    print("Simulating baseline DRIPS (this runs a full platform model)...")
+    baseline = ODRIPSController(TechniqueSet.baseline()).measure(cycles=2)
+
+    print("Simulating ODRIPS (all three techniques)...")
+    odrips = ODRIPSController(TechniqueSet.odrips()).measure(cycles=2)
+
+    rows = [
+        ["average power", f"{baseline.average_power_w * 1e3:.1f} mW",
+         f"{odrips.average_power_w * 1e3:.1f} mW"],
+        ["DRIPS power", f"{baseline.drips_power_w * 1e3:.1f} mW",
+         f"{odrips.drips_power_w * 1e3:.1f} mW"],
+        ["DRIPS residency", f"{baseline.drips_residency:.2%}",
+         f"{odrips.drips_residency:.2%}"],
+        ["entry latency", f"{baseline.entry_latency_us:.0f} us",
+         f"{odrips.entry_latency_us:.0f} us"],
+        ["exit latency", f"{baseline.exit_latency_us:.0f} us",
+         f"{odrips.exit_latency_us:.0f} us"],
+    ]
+    print()
+    print(format_table(["quantity", "baseline DRIPS", "ODRIPS"], rows,
+                       title="Connected-standby: baseline vs ODRIPS"))
+    print()
+    saving = odrips.saving_vs(baseline)
+    print(f"ODRIPS saves {saving:.1%} of platform average power "
+          f"(paper: 22%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Scenario: race-to-sleep — what's the best core frequency for standby?
+
+Sec. 8.1 asks whether running the maintenance bursts faster (to get back
+into ODRIPS sooner) saves energy.  The paper sweeps three points
+(0.8/1.0/1.5 GHz) and concludes the optimum is "at some point between
+0.8 GHz and 1.5 GHz".  This example sweeps the full frequency range of
+the part (Table 1: 0.8-2.4 GHz) to locate that optimum precisely in the
+model, and explains the mechanism.
+
+Run:  python examples/race_to_sleep.py
+"""
+
+from repro.analysis.report import format_table
+from repro.core.odrips import ODRIPSController
+from repro.core.techniques import TechniqueSet
+
+
+def main() -> None:
+    frequencies = [0.8, 0.9, 1.0, 1.1, 1.2, 1.5, 2.0, 2.4]
+    print(f"Sweeping {len(frequencies)} core frequencies on the ODRIPS platform...")
+
+    rows = []
+    best = None
+    reference = None
+    for freq in frequencies:
+        measurement = ODRIPSController(TechniqueSet.odrips()).measure(
+            cycles=2, core_freq_ghz=freq
+        )
+        watts = measurement.average_power_w
+        if reference is None:
+            reference = watts
+        if best is None or watts < best[1]:
+            best = (freq, watts)
+        rows.append(
+            [
+                f"{freq:.1f} GHz",
+                f"{watts * 1e3:.2f} mW",
+                f"{watts / reference - 1:+.2%}",
+            ]
+        )
+    print()
+    print(format_table(
+        ["core frequency", "avg standby power", "delta vs 0.8 GHz"],
+        rows,
+        title="Race-to-sleep frequency sweep (Sec. 8.1, extended)",
+    ))
+    print()
+    assert best is not None
+    print(f"Optimum: {best[0]:.1f} GHz at {best[1] * 1e3:.2f} mW.")
+    print()
+    print("Mechanism: up to ~1.0 GHz the voltage rides the Vmin floor, so")
+    print("energy-per-cycle is flat while the burst (and its fixed uncore")
+    print("power) shrinks - racing wins.  Above Vmin the required voltage")
+    print("rises and CV^2f grows faster than the burst shrinks - racing")
+    print("loses.  The paper's three-point sweep brackets the same optimum.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Scenario: the security story of CTX-SGX-DRAM (Sec. 6), demonstrated.
+
+Storing the processor context (configuration registers, firmware patches,
+fuse values) in DRAM exposes it to cold-boot, bus-snooping and replay
+attacks.  This example shows what the MEE model actually guarantees:
+
+1. **Confidentiality** - the context bytes in DRAM are ciphertext.
+2. **Integrity** - flipping a single DRAM bit is detected on restore.
+3. **Freshness** - replaying an older (validly encrypted!) snapshot of
+   the protected region is detected by the on-chip root counter.
+
+This is a defensive demonstration: every attack is detected, none
+succeeds.
+
+Run:  python examples/secure_context.py
+"""
+
+from repro.errors import SecurityError
+from repro.memory.dram import DRAMDevice
+from repro.sgx import MEECache, MemoryEncryptionEngine, TreeGeometry
+from repro.units import GIB
+
+REGION_BASE = 1 * GIB
+CONTEXT = b"CSR:MSR_PKG_CST_CONFIG=0x7e|PATCH_REV=0x2100|FUSES=..." * 64
+
+
+def build_engine(dram: DRAMDevice) -> MemoryEncryptionEngine:
+    geometry = TreeGeometry.for_data_size(REGION_BASE, len(CONTEXT))
+    mee = MemoryEncryptionEngine(
+        dram, geometry, master_key=b"skylake-fuse-derived-master-key!",
+        cache=MEECache(),
+    )
+    mee.initialize_region()
+    return mee
+
+
+def main() -> None:
+    dram = DRAMDevice("ddr3l", capacity_bytes=2 * GIB)
+    mee = build_engine(dram)
+
+    print(f"Saving {len(CONTEXT)} bytes of processor context through the MEE...")
+    save_latency = mee.bulk_write(0, CONTEXT)
+    print(f"  saved in {save_latency / 1e6:.1f} us (paper: ~18 us for 200 KB)\n")
+
+    # 1. confidentiality
+    at_rest = dram._store.read(REGION_BASE, 64)
+    print("1. Confidentiality: first 32 bytes at rest in DRAM:")
+    print(f"   plaintext : {CONTEXT[:32]!r}")
+    print(f"   in DRAM   : {at_rest[:32].hex()}  (ciphertext)")
+    assert at_rest != CONTEXT[:64]
+    print("   -> the context never touches DRAM in the clear\n")
+
+    # 2. integrity: flip one bit (a RowHammer-style corruption)
+    print("2. Integrity: flipping one DRAM bit inside the context...")
+    corrupted = bytes([at_rest[0] ^ 0x01]) + at_rest[1:]
+    dram._store.write(REGION_BASE, corrupted)
+    try:
+        mee.read(0, 64)
+        raise AssertionError("tampering was NOT detected")
+    except SecurityError as error:
+        print(f"   -> detected: {error}\n")
+    dram._store.write(REGION_BASE, at_rest)  # undo
+
+    # 3. freshness: replay an old snapshot of block 0 + its metadata path
+    print("3. Freshness: snapshotting the region, then replaying it after")
+    print("   a newer context version was saved...")
+    geometry = mee.geometry
+    snapshot_ranges = [(geometry.block_address(0), 64),
+                       (geometry.version_address(0), 8),
+                       (geometry.leaf_mac_address(0), 8)]
+    for level in range(1, geometry.levels + 1):
+        snapshot_ranges.append((geometry.node_address(level, 0), 16))
+    snapshot = {addr: dram._store.read(addr, size) for addr, size in snapshot_ranges}
+
+    mee.write(0, b"NEWER-CONTEXT-VERSION" + bytes(43))  # version bump
+    for addr, data in snapshot.items():                 # replay old state
+        dram._store.write(addr, data)
+    mee.cache.flush()  # pretend the engine lost its cached counters too
+    try:
+        mee.read(0, 64)
+        raise AssertionError("replay was NOT detected")
+    except SecurityError as error:
+        print(f"   -> detected: {error}\n")
+
+    print("All three attacks detected; the context is protected exactly as")
+    print("Sec. 6 requires (confidentiality, integrity, freshness).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Scenario: keeping time at 32.768 kHz without drifting (Sec. 4).
+
+A wall-clock deep dive into the paper's hardest correctness argument:
+after migrating the timer to the chipset and switching it to a clock
+~730x slower, the count must stay within 1 ppb of what the 24 MHz timer
+would have shown — across crystals with real manufacturing error, over
+arbitrary sleep durations, through both handoff edges.
+
+This example runs the actual calibration (Eq. 2-4), performs the
+fast->slow->fast handoff of Fig. 3(b) across several ppm corners and
+sleep durations, and prints the observed drift.
+
+Run:  python examples/timer_calibration.py
+"""
+
+from repro.analysis.report import format_table
+from repro.clocks.clock import DerivedClock
+from repro.clocks.crystal import CrystalOscillator
+from repro.timers.calibration import StepCalibrator
+from repro.timers.dual_timer import ChipsetDualTimer
+from repro.units import SECOND
+
+
+def run_corner(fast_ppm: float, slow_ppm: float, sleep_s: int):
+    """Calibrate, hand off, sleep, hand back; return drift stats."""
+    fast = CrystalOscillator("xtal24", 24e6, ppm_error=fast_ppm)
+    slow = CrystalOscillator("rtc", 32768.0, ppm_error=slow_ppm)
+    calibrator = StepCalibrator.for_precision(fast, slow, ppb=1.0)
+    calibration = calibrator.run(0)
+
+    timer = ChipsetDualTimer(
+        "dual", DerivedClock("f", fast), DerivedClock("s", slow),
+        frac_bits=calibrator.frac_bits,
+    )
+    timer.set_step(calibration.step)
+    timer.load_fast(0, 0)
+
+    edge = timer.next_slow_edge(0)
+    value_at_edge = timer.read(edge)
+    timer.switch_to_slow(edge)               # 24 MHz crystal may turn off now
+    back_edge = slow.next_edge(edge + sleep_s * SECOND)
+    timer.switch_to_fast(back_edge)          # crystal back on, timer restored
+
+    got = timer.read(back_edge)
+    truth = value_at_edge + fast.edges_in(edge + 1, back_edge + 1)
+    elapsed = truth - value_at_edge
+    drift_cycles = got - truth
+    drift_ppb = drift_cycles / elapsed * 1e9 if elapsed else 0.0
+    return calibration, drift_cycles, drift_ppb
+
+
+def main() -> None:
+    print("Step register sizing (Sec. 4.1.3):")
+    fast = CrystalOscillator("x", 24e6)
+    slow = CrystalOscillator("s", 32768.0)
+    calibrator = StepCalibrator.for_precision(fast, slow)
+    print(f"  integer bits m = {calibrator.int_bits}   (paper: 10)")
+    print(f"  fraction bits f = {calibrator.frac_bits}  (paper: 21)")
+    print(f"  calibration window = 2^{calibrator.frac_bits} slow cycles "
+          f"= {calibrator.duration_ps() / 1e12:.0f} s (once per reset)")
+    print()
+
+    rows = []
+    for fast_ppm, slow_ppm, sleep_s in [
+        (0.0, 0.0, 30),
+        (+13.0, -7.0, 30),
+        (+50.0, -30.0, 300),
+        (-20.0, +15.0, 3600),
+        (+100.0, -100.0, 86400),
+    ]:
+        _calibration, drift_cycles, drift_ppb = run_corner(fast_ppm, slow_ppm, sleep_s)
+        rows.append(
+            [
+                f"{fast_ppm:+.0f} / {slow_ppm:+.0f}",
+                f"{sleep_s} s",
+                drift_cycles,
+                f"{abs(drift_ppb):.3f} ppb",
+            ]
+        )
+    print(format_table(
+        ["XTAL error (24M/32k)", "sleep", "drift (fast cycles)", "relative drift"],
+        rows,
+        title="Fast->slow->fast handoff drift (paper bound: ~1 ppb)",
+    ))
+    print()
+    print("Even a full day on the 32 kHz clock keeps the timer within a few")
+    print("24 MHz cycles of truth - the 1 ppb spec of Sec. 4.1.3 holds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Reproduction of *Techniques for Reducing the Connected-Standby Energy
+Consumption of Mobile Devices* (Haj-Yahya et al., HPCA 2020).
+
+The library is a discrete-event platform power-management simulator that
+implements the paper's baseline system (an Intel Skylake mobile platform
+with its DRIPS deepest-runtime-idle state) and its contribution, ODRIPS,
+with all three techniques:
+
+* ``WAKE-UP-OFF`` — timer wake-event migration to the chipset on a
+  32.768 kHz clock (Sec. 4),
+* ``AON-IO-GATE`` — always-on IO offload and FET power-gating (Sec. 5),
+* ``CTX-SGX-DRAM`` — processor context stored in an SGX-protected DRAM
+  region through a functional memory-encryption engine (Sec. 6),
+
+plus the emerging-memory variants ODRIPS-MRAM and ODRIPS-PCM (Sec. 8.3).
+
+Quickstart::
+
+    from repro import ODRIPSController, TechniqueSet
+
+    baseline = ODRIPSController(TechniqueSet.baseline()).measure(cycles=2)
+    odrips = ODRIPSController(TechniqueSet.odrips()).measure(cycles=2)
+    print(f"ODRIPS saves {100 * odrips.saving_vs(baseline):.1f}% average power")
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+paper-vs-measured numbers of every table and figure.
+"""
+
+from repro.config import (
+    ActivePowerModel,
+    ContextInventory,
+    DRIPSPowerBudget,
+    PlatformConfig,
+    StandbyWorkloadConfig,
+    TransitionModel,
+    haswell_config,
+    skylake_config,
+)
+from repro.core import (
+    ContextStore,
+    ODRIPSController,
+    StandbyMeasurement,
+    Technique,
+    TechniqueSet,
+)
+from repro.errors import ReproError
+from repro.system import FlowController, PlatformState, SkylakePlatform
+from repro.workloads import ConnectedStandbyRunner, StandbyResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivePowerModel",
+    "ConnectedStandbyRunner",
+    "ContextInventory",
+    "ContextStore",
+    "DRIPSPowerBudget",
+    "FlowController",
+    "ODRIPSController",
+    "PlatformConfig",
+    "PlatformState",
+    "ReproError",
+    "SkylakePlatform",
+    "StandbyMeasurement",
+    "StandbyResult",
+    "StandbyWorkloadConfig",
+    "Technique",
+    "TechniqueSet",
+    "TransitionModel",
+    "haswell_config",
+    "skylake_config",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Analysis: Equation-1 model, break-even sweeps, scaling, reporting.
+
+These are the paper's evaluation-methodology pieces (Sec. 7) that sit on
+top of the simulator: the analytical average-power model used for
+cross-checking the simulation, the DRIPS-residency sweep that locates
+energy break-even points, the Haswell-to-Skylake process-scaling step,
+and table renderers for the benches.
+"""
+
+from repro.analysis.average_power import AveragePowerModel, StatePoint
+from repro.analysis.battery import BatteryLife, life_table, standby_life
+from repro.analysis.breakeven import BreakEvenResult, find_break_even, residency_sweep
+from repro.analysis.breakdown import drips_breakdown, fig1b_shares
+from repro.analysis.coalescing import coalesced_wake_rate, coalescing_sweep
+from repro.analysis.scaling import (
+    drips_power_at_temperature,
+    scale_power,
+    scaling_factor,
+    temperature_leakage_factor,
+)
+from repro.analysis.sensitivity import budget_sensitivity, workload_sensitivity
+from repro.analysis.sweep import sweep
+from repro.analysis.report import format_table
+from repro.analysis.validation import validate_power_model
+
+__all__ = [
+    "AveragePowerModel",
+    "BatteryLife",
+    "BreakEvenResult",
+    "StatePoint",
+    "budget_sensitivity",
+    "coalesced_wake_rate",
+    "coalescing_sweep",
+    "drips_breakdown",
+    "drips_power_at_temperature",
+    "fig1b_shares",
+    "find_break_even",
+    "format_table",
+    "life_table",
+    "residency_sweep",
+    "scale_power",
+    "scaling_factor",
+    "standby_life",
+    "sweep",
+    "temperature_leakage_factor",
+    "validate_power_model",
+    "workload_sensitivity",
+]

@@ -1,0 +1,248 @@
+"""Ablations of the design choices the paper argues for.
+
+Each function quantifies one "design alternatives" discussion:
+
+* :func:`gate_ablation` — embedded power gate vs on-board FET (Sec. 5.1).
+* :func:`timer_location_ablation` — 32 kHz crystal into the processor vs
+  timer migration into the chipset (Sec. 4.1.1).
+* :func:`context_store_ablation` — processor SRAM vs chipset SRAM vs
+  protected DRAM vs eMRAM vs PCM (Secs. 6.1, 8.3).
+* :func:`mee_cache_ablation` — MEE metadata-cache size vs tree-walk
+  traffic (Sec. 6.2).
+* :func:`step_bits_ablation` — Step fractional bits vs worst-case drift
+  (Sec. 4.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import DRIPSPowerBudget, PlatformConfig, skylake_config
+from repro.core.odrips import ODRIPSController
+from repro.core.techniques import ContextStore, Technique, TechniqueSet
+from repro.memory.dram import DRAMDevice
+from repro.power.gates import BoardFETGate, EmbeddedPowerGate
+from repro.sgx.cache import MEECache
+from repro.sgx.integrity_tree import TreeGeometry
+from repro.sgx.mee import MemoryEncryptionEngine
+from repro.timers.calibration import worst_case_drift_ppb
+
+
+# ---------------------------------------------------------------------------
+# Sec. 5.1: EPG vs FET
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GateAblationRow:
+    gate: str
+    off_leakage_mw: float
+    on_overhead_mw: float
+    needs_processor_pins: bool
+    board_component: bool
+
+
+def gate_ablation(config: Optional[PlatformConfig] = None) -> List[GateAblationRow]:
+    """Leakage of the gated AON IO bank under each gate option."""
+    cfg = config if config is not None else skylake_config()
+    load = cfg.budget.aon_io_bank_w
+    rows = []
+    for name, gate, pins, board in [
+        ("EPG (on-die)", EmbeddedPowerGate("epg", closed=False), True, False),
+        ("FET (on-board)", BoardFETGate("fet", closed=False), False, True),
+    ]:
+        off_leakage = gate.delivered_power(load)
+        gate.close()
+        on_overhead = gate.delivered_power(load) - load
+        rows.append(
+            GateAblationRow(
+                gate=name,
+                off_leakage_mw=off_leakage * 1e3,
+                on_overhead_mw=on_overhead * 1e3,
+                needs_processor_pins=pins,
+                board_component=board,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Sec. 4.1.1: timer location
+# ---------------------------------------------------------------------------
+
+#: Power of one extra always-on IO pin pair (pad + receiver + routing) if
+#: the 32 kHz clock were brought into the processor — the cost Sec. 4.1.1
+#: cites (pins are "relatively expensive", ITRS [36]).
+EXTRA_PIN_POWER_W = 0.35e-3
+
+
+@dataclass(frozen=True)
+class TimerLocationRow:
+    design: str
+    drips_saving_mw: float
+    extra_processor_pins: int
+    enables_io_gating: bool
+
+
+def timer_location_ablation(config: Optional[PlatformConfig] = None) -> List[TimerLocationRow]:
+    """Compare the two design alternatives for slow-clock timekeeping.
+
+    Alternative 1 (32 kHz crystal into the processor) still kills the
+    24 MHz crystal and the fast toggling, but pays for an extra AON pin
+    and — crucially — leaves the processor as the wake hub, so the AON IO
+    bank cannot be gated (the Sec. 4.1.1 argument for alternative 2).
+    """
+    cfg = config if config is not None else skylake_config()
+    budget = cfg.budget
+    migration_saving = (
+        budget.timer_wakeup_monitor_w
+        + budget.fast_xtal_w
+        + (budget.chipset_wake_monitor_w - budget.chipset_wake_monitor_slow_w)
+    )
+    alt1_saving = migration_saving - EXTRA_PIN_POWER_W
+    return [
+        TimerLocationRow(
+            design="32 kHz XTAL into processor (alt. 1)",
+            drips_saving_mw=alt1_saving * 1e3,
+            extra_processor_pins=2,  # differential clock input
+            enables_io_gating=False,
+        ),
+        TimerLocationRow(
+            design="timer migrated to chipset (alt. 2, chosen)",
+            drips_saving_mw=migration_saving * 1e3,
+            extra_processor_pins=0,
+            enables_io_gating=True,
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Secs. 6.1 / 8.3: context store comparison
+# ---------------------------------------------------------------------------
+
+CONTEXT_STORES: List[Tuple[str, TechniqueSet]] = [
+    ("processor SRAM (baseline)", TechniqueSet.baseline()),
+    (
+        "chipset SRAM (Sec. 6.1 alt. 2)",
+        TechniqueSet({Technique.CTX_SGX_DRAM}, ContextStore.CHIPSET_SRAM),
+    ),
+    ("SGX-protected DRAM (chosen)", TechniqueSet.ctx_sgx_dram_only()),
+    (
+        "eMRAM (Sec. 8.3)",
+        TechniqueSet({Technique.CTX_SGX_DRAM}, ContextStore.EMRAM),
+    ),
+]
+
+
+@dataclass(frozen=True)
+class ContextStoreRow:
+    store: str
+    average_power_mw: float
+    saving_vs_baseline: float
+    exit_latency_us: float
+
+
+def context_store_ablation(
+    config: Optional[PlatformConfig] = None, cycles: int = 1
+) -> List[ContextStoreRow]:
+    """Average power of each context-store option (CTX technique only)."""
+    rows: List[ContextStoreRow] = []
+    baseline_mw: Optional[float] = None
+    for label, techniques in CONTEXT_STORES:
+        measurement = ODRIPSController(techniques, config=config).measure(cycles=cycles)
+        watts = measurement.average_power_w
+        if baseline_mw is None:
+            baseline_mw = watts
+        rows.append(
+            ContextStoreRow(
+                store=label,
+                average_power_mw=watts * 1e3,
+                saving_vs_baseline=1.0 - watts / baseline_mw,
+                exit_latency_us=measurement.exit_latency_us,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Sec. 6.2: MEE cache size
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MEECacheRow:
+    cache_nodes: int
+    hit_rate: float
+    metadata_accesses_per_read: float
+
+
+def mee_cache_ablation(
+    cache_geometries: Optional[List[Tuple[int, int]]] = None,
+    data_size: int = 64 * 1024,
+    accesses: int = 400,
+    seed: int = 7,
+) -> List[MEECacheRow]:
+    """Random 64 B protected reads under different MEE cache sizes."""
+    import random
+
+    geometries = cache_geometries if cache_geometries is not None else [
+        (1, 1),
+        (4, 2),
+        (16, 4),
+        (64, 8),
+        (256, 8),
+    ]
+    rows: List[MEECacheRow] = []
+    for sets, ways in geometries:
+        device = DRAMDevice("dram", capacity_bytes=256 * (1 << 20))
+        geometry = TreeGeometry.for_data_size(1 << 20, data_size)
+        cache = MEECache(sets=sets, ways=ways)
+        mee = MemoryEncryptionEngine(device, geometry, b"k" * 32, cache)
+        mee.initialize_region()
+        mee.tree.metadata_accesses = 0
+        rng = random.Random(seed)
+        blocks = geometry.data_blocks
+        for _ in range(accesses):
+            mee.read(rng.randrange(blocks) * 64, 64)
+        rows.append(
+            MEECacheRow(
+                cache_nodes=cache.capacity,
+                hit_rate=cache.hit_rate(),
+                metadata_accesses_per_read=mee.tree.metadata_accesses / accesses,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Sec. 4.1.3: Step fractional bits
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StepBitsRow:
+    fractional_bits: int
+    worst_case_drift_ppb: float
+    meets_1ppb: bool
+    calibration_seconds: float
+
+
+def step_bits_ablation(
+    bits: Optional[List[int]] = None,
+    fast_hz: float = 24e6,
+    slow_hz: float = 32768.0,
+) -> List[StepBitsRow]:
+    """Drift bound and calibration time as f varies (Eq. 3/4 trade)."""
+    rows = []
+    for f in bits if bits is not None else [8, 12, 16, 20, 21, 24]:
+        drift = worst_case_drift_ppb(fast_hz, slow_hz, f)
+        rows.append(
+            StepBitsRow(
+                fractional_bits=f,
+                worst_case_drift_ppb=drift,
+                meets_1ppb=drift < 1.0,
+                calibration_seconds=(1 << f) / slow_hz,
+            )
+        )
+    return rows

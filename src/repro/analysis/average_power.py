@@ -1,0 +1,100 @@
+"""The analytical average-power model of Equation 1 (Sec. 2.3).
+
+``Average_Power = sum over states of (state power x state residency)``
+for the four connected-standby states: C0 (Active), DRIPS, Entry, Exit.
+
+This is the closed-form cross-check of the simulator: tests assert that
+the simulated average agrees with the analytical prediction built from
+the same configuration constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.config import PlatformConfig, skylake_config
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class StatePoint:
+    """Power level and residency time of one state in the periodic cycle."""
+
+    name: str
+    power_watts: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.power_watts < 0 or self.duration_s < 0:
+            raise ConfigError(f"state {self.name}: negative power or duration")
+
+    @property
+    def energy_j(self) -> float:
+        return self.power_watts * self.duration_s
+
+
+class AveragePowerModel:
+    """Equation 1 over an explicit set of states."""
+
+    def __init__(self, states: Iterable[StatePoint]) -> None:
+        self.states = list(states)
+        if not self.states:
+            raise ConfigError("need at least one state")
+        self.period_s = sum(state.duration_s for state in self.states)
+        if self.period_s <= 0:
+            raise ConfigError("cycle period must be positive")
+
+    def residency(self, name: str) -> float:
+        """Fraction of the period spent in ``name``."""
+        return sum(s.duration_s for s in self.states if s.name == name) / self.period_s
+
+    def average_power(self) -> float:
+        """The left-hand side of Equation 1, in watts."""
+        return sum(state.energy_j for state in self.states) / self.period_s
+
+    def terms(self) -> Dict[str, float]:
+        """Per-state ``power x residency`` contributions, in watts."""
+        out: Dict[str, float] = {}
+        for state in self.states:
+            out[state.name] = out.get(state.name, 0.0) + state.energy_j / self.period_s
+        return out
+
+    @classmethod
+    def for_connected_standby(
+        cls,
+        config: Optional[PlatformConfig] = None,
+        drips_power_w: Optional[float] = None,
+        idle_s: float = 30.0,
+        maintenance_s: float = 0.145,
+        core_freq_ghz: Optional[float] = None,
+    ) -> "AveragePowerModel":
+        """Build the four-state model from a platform configuration.
+
+        ``drips_power_w`` overrides the budget total (e.g. to model an
+        ODRIPS platform analytically).
+        """
+        cfg = config if config is not None else skylake_config()
+        freq = core_freq_ghz if core_freq_ghz is not None else cfg.min_core_ghz
+        drips = (
+            drips_power_w if drips_power_w is not None else cfg.budget.platform_total_w()
+        )
+        active_power = cfg.active_model.total_watts(freq, cfg.dram_rate_hz)
+        # fixed work: higher frequency shortens the burst (race-to-sleep)
+        active_s = maintenance_s * (cfg.min_core_ghz / freq)
+        return cls(
+            [
+                StatePoint("active", active_power, active_s),
+                StatePoint(
+                    "entry",
+                    cfg.transitions.entry_power_watts,
+                    cfg.transitions.entry_latency_ps / 1e12,
+                ),
+                StatePoint("drips", drips, idle_s),
+                StatePoint(
+                    "exit",
+                    cfg.transitions.exit_power_watts,
+                    cfg.transitions.exit_latency_ps / 1e12,
+                ),
+            ]
+        )

@@ -1,0 +1,102 @@
+"""Battery-life estimation from connected-standby average power.
+
+The paper's motivation is battery life (Sec. 1: devices are "idle the
+majority of the time" but must stay connected).  This module turns
+average-power measurements into standby-life figures and quantifies how
+much life each technique buys on real battery sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Representative battery capacities (watt-hours) of the device classes
+#: the paper targets (Sec. 1: handhelds to laptops).
+BATTERY_WH = {
+    "handheld-tablet": 25.0,
+    "surface-class": 38.0,
+    "ultrabook": 50.0,
+    "laptop-15in": 68.0,
+}
+
+
+@dataclass(frozen=True)
+class BatteryLife:
+    """Standby life of one configuration on one battery."""
+
+    battery_wh: float
+    average_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.battery_wh <= 0:
+            raise ConfigError("battery capacity must be positive")
+        if self.average_power_w <= 0:
+            raise ConfigError("average power must be positive")
+
+    @property
+    def hours(self) -> float:
+        return self.battery_wh / self.average_power_w
+
+    @property
+    def days(self) -> float:
+        return self.hours / 24.0
+
+    def extra_days_vs(self, other: "BatteryLife") -> float:
+        """Standby days gained over ``other`` (same battery)."""
+        if self.battery_wh != other.battery_wh:
+            raise ConfigError("comparing different batteries")
+        return self.days - other.days
+
+
+def standby_life(
+    average_power_w: float, battery_wh: float = BATTERY_WH["surface-class"]
+) -> BatteryLife:
+    """Standby life at ``average_power_w`` on a ``battery_wh`` battery."""
+    return BatteryLife(battery_wh=battery_wh, average_power_w=average_power_w)
+
+
+def life_table(
+    measurements: Dict[str, float],
+    battery_wh: float = BATTERY_WH["surface-class"],
+    baseline_label: Optional[str] = None,
+) -> List[Tuple[str, float, float, float]]:
+    """``(label, avg_mw, days, extra_days_vs_baseline)`` per configuration.
+
+    ``measurements`` maps labels to average power in watts; the baseline
+    is the first entry unless ``baseline_label`` names one.
+    """
+    if not measurements:
+        raise ConfigError("no measurements supplied")
+    labels = list(measurements)
+    base = baseline_label if baseline_label is not None else labels[0]
+    if base not in measurements:
+        raise ConfigError(f"unknown baseline label {base!r}")
+    base_life = standby_life(measurements[base], battery_wh)
+    rows = []
+    for label in labels:
+        life = standby_life(measurements[label], battery_wh)
+        rows.append(
+            (
+                label,
+                measurements[label] * 1e3,
+                life.days,
+                life.extra_days_vs(base_life),
+            )
+        )
+    return rows
+
+
+def saving_to_extra_days(
+    baseline_power_w: float,
+    saving_fraction: float,
+    battery_wh: float = BATTERY_WH["surface-class"],
+) -> float:
+    """Extra standby days bought by a fractional average-power saving."""
+    if not 0 <= saving_fraction < 1:
+        raise ConfigError("saving must be in [0, 1)")
+    before = standby_life(baseline_power_w, battery_wh)
+    after = standby_life(baseline_power_w * (1 - saving_fraction), battery_wh)
+    return after.extra_days_vs(before)

@@ -1,0 +1,72 @@
+"""The Fig. 1(b) DRIPS power breakdown.
+
+Groups the platform's per-component breakdown into the slices the paper
+plots: the processor items (timer/wake, AON IOs, S/R SRAMs, PMU, CKE),
+the crystals, the chipset, DRAM self-refresh, and the rest of the board.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.techniques import TechniqueSet
+from repro.config import PlatformConfig
+from repro.core.odrips import ODRIPSController
+
+#: Component-name prefixes mapped to the paper's Fig. 1(b) slices.
+FIG1B_GROUPS = {
+    "proc.timer_wake": "wakeup_timer_monitor",
+    "board.xtal24": "fast_crystal_24mhz",
+    "board.xtal32k": "rtc_crystal_32khz",
+    "io:": "aon_ios",
+    "gate:proc.aon_io": "aon_ios",
+    "proc.sr_sram": "sr_srams",
+    "proc.boot_sram": "sr_srams",
+    "proc.pmu": "pmu",
+    "proc.emram": "sr_srams",
+    "proc.cke_drive": "cke",
+    "proc.aon_vr_quiescent": "power_delivery",
+    "proc.retention_vr_quiescent": "power_delivery",
+    "pch.": "chipset",
+    "memory.": "dram_self_refresh",
+    "board.other": "board_other",
+    "flow.": "transitions",
+}
+
+
+def group_breakdown(component_watts: Dict[str, float]) -> Dict[str, float]:
+    """Fold per-component watts into the Fig. 1(b) slice names."""
+    grouped: Dict[str, float] = {}
+    for name, watts in component_watts.items():
+        slice_name = "other"
+        for prefix, target in FIG1B_GROUPS.items():
+            if name.startswith(prefix):
+                slice_name = target
+                break
+        grouped[slice_name] = grouped.get(slice_name, 0.0) + watts
+    return grouped
+
+
+def drips_breakdown(
+    techniques: Optional[TechniqueSet] = None,
+    config: Optional[PlatformConfig] = None,
+    cycles: int = 1,
+) -> Dict[str, float]:
+    """Measured per-slice DRIPS watts from a short simulation."""
+    controller = ODRIPSController(
+        techniques if techniques is not None else TechniqueSet.baseline(), config=config
+    )
+    result = controller.measure_raw(cycles=cycles, idle_interval_s=5.0)
+    return group_breakdown(result.drips_breakdown_w)
+
+
+def fig1b_shares(
+    techniques: Optional[TechniqueSet] = None,
+    config: Optional[PlatformConfig] = None,
+) -> Dict[str, float]:
+    """Fig. 1(b): per-slice fractions of total platform DRIPS power."""
+    grouped = drips_breakdown(techniques, config)
+    total = sum(grouped.values())
+    if total <= 0:
+        return {name: 0.0 for name in grouped}
+    return {name: watts / total for name, watts in grouped.items()}

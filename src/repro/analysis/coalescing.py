@@ -1,0 +1,112 @@
+"""Interrupt coalescing and the wake-rate economy (Sec. 3, Observation 1).
+
+The paper's first observation leans on platform buffering: "a modern SoC
+aggregates multiple interrupts and handles them together at the same
+time to reduce the number of wake-ups from the Idle state".  This module
+quantifies that economy:
+
+* with Poisson notification arrivals at rate λ and a coalescing window
+  W, the platform wakes at rate λ / (1 + λW) (each wake opens a window
+  that absorbs the arrivals landing inside it);
+* each wake costs one transition round trip plus a handling burst, so
+  the connected-standby average power falls monotonically with W — at
+  the price of notification latency (bounded by W).
+
+That wake-latency budget is exactly what lets ODRIPS afford its extra
+tens-of-µs exit latency "without degrading user experience".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.config import PlatformConfig, skylake_config
+from repro.errors import ConfigError
+
+
+def coalesced_wake_rate(arrival_rate_hz: float, window_s: float) -> float:
+    """Wakes per second with Poisson arrivals and a coalescing window.
+
+    Renewal argument: a wake services everything that arrived, then the
+    next arrival (mean 1/λ later) starts a window of length W that
+    absorbs followers; one wake per (1/λ + W) of expected time.
+    """
+    if arrival_rate_hz < 0 or window_s < 0:
+        raise ConfigError("rate and window must be non-negative")
+    if arrival_rate_hz == 0:
+        return 0.0
+    return 1.0 / (1.0 / arrival_rate_hz + window_s)
+
+
+@dataclass(frozen=True)
+class CoalescingPoint:
+    """Average-power outcome at one coalescing-window setting."""
+
+    window_s: float
+    wake_rate_hz: float
+    average_power_w: float
+    worst_case_latency_s: float
+
+
+#: Energy of one wake round trip: entry + exit transitions plus a short
+#: handling burst (~5 ms at Active power).  Derived from the calibrated
+#: transition model; see docs/CALIBRATION.md.
+def wake_round_trip_energy_j(config: Optional[PlatformConfig] = None) -> float:
+    cfg = config if config is not None else skylake_config()
+    trans = cfg.transitions
+    entry = trans.entry_power_watts * trans.entry_latency_ps / 1e12
+    exit_ = trans.exit_power_watts * trans.exit_latency_ps / 1e12
+    burst = cfg.active_model.total_watts(cfg.min_core_ghz) * 0.005
+    return entry + exit_ + burst
+
+
+def coalescing_sweep(
+    arrival_rate_hz: float = 1.0,
+    windows_s: Tuple[float, ...] = (0.0, 0.05, 0.2, 1.0, 5.0, 30.0),
+    drips_power_w: float = 0.060,
+    config: Optional[PlatformConfig] = None,
+) -> List[CoalescingPoint]:
+    """Average power vs coalescing window for a notification stream.
+
+    ``arrival_rate_hz`` of 1 Hz is a pathological chatty app; even a
+    modest window collapses its wake rate.
+    """
+    if arrival_rate_hz <= 0:
+        raise ConfigError("arrival rate must be positive for a sweep")
+    per_wake = wake_round_trip_energy_j(config)
+    points = []
+    for window_s in windows_s:
+        rate = coalesced_wake_rate(arrival_rate_hz, window_s)
+        average = drips_power_w + rate * per_wake
+        points.append(
+            CoalescingPoint(
+                window_s=window_s,
+                wake_rate_hz=rate,
+                average_power_w=average,
+                worst_case_latency_s=window_s,
+            )
+        )
+    return points
+
+
+def window_for_power_budget(
+    arrival_rate_hz: float,
+    power_budget_w: float,
+    drips_power_w: float = 0.060,
+    config: Optional[PlatformConfig] = None,
+) -> float:
+    """Smallest coalescing window that meets an average-power budget.
+
+    Solves ``drips + rate(W) * E_wake <= budget`` for W.  Raises when the
+    budget is below the idle floor (unreachable) and returns 0 when no
+    coalescing is needed.
+    """
+    if power_budget_w <= drips_power_w:
+        raise ConfigError("budget below the DRIPS floor is unreachable")
+    per_wake = wake_round_trip_energy_j(config)
+    allowed_rate = (power_budget_w - drips_power_w) / per_wake
+    uncoalesced = coalesced_wake_rate(arrival_rate_hz, 0.0)
+    if uncoalesced <= allowed_rate:
+        return 0.0
+    return 1.0 / allowed_rate - 1.0 / arrival_rate_hz

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for benches and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numbers are shown with sensible precision; everything else with
+    ``str``.  Used by every bench to print the paper-style result rows.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            magnitude = abs(value)
+            if magnitude != 0 and magnitude < 0.01:
+                return f"{value:.5f}"
+            return f"{value:,.3f}"
+        return str(value)
+
+    rendered: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(text.ljust(widths[i]) for i, text in enumerate(parts)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in rendered:
+        out.append(line(row))
+    return "\n".join(out)

@@ -1,0 +1,29 @@
+"""Generic parameter-sweep helper for the figure benches."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple, TypeVar
+
+Value = TypeVar("Value")
+
+
+def sweep(
+    parameter_values: Iterable[Value],
+    experiment: Callable[[Value], float],
+) -> List[Tuple[Value, float]]:
+    """Run ``experiment`` at each parameter value; collect the results."""
+    return [(value, experiment(value)) for value in parameter_values]
+
+
+def relative_to_first(points: List[Tuple[Value, float]]) -> List[Tuple[Value, float]]:
+    """Convert absolute results into fractions of the first point.
+
+    Used for the Fig. 6(b)/(c) sweeps, which the paper reports as deltas
+    against the leftmost (baseline) configuration.
+    """
+    if not points:
+        return []
+    reference = points[0][1]
+    if reference == 0:
+        raise ZeroDivisionError("first sweep point is zero")
+    return [(value, result / reference - 1.0) for value, result in points]

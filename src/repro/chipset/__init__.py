@@ -1,0 +1,12 @@
+"""Chipset (PCH) models: the AON domain, the wake hub, and the dual timer.
+
+ODRIPS turns the chipset into "the 'hub' for hosting the wake-up events
+in DRIPS" (Sec. 3, Observation 2): it gains the fast/slow timer pair of
+Sec. 4, monitors the offloaded thermal line on a spare GPIO at 32 kHz,
+and drives the FET that gates the processor's AON IO bank.
+"""
+
+from repro.chipset.wake_hub import WakeHub
+from repro.chipset.pch import Chipset
+
+__all__ = ["Chipset", "WakeHub"]

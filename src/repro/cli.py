@@ -1,0 +1,292 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Runs any of the paper's experiments from the shell and prints the same
+paper-vs-measured tables the benchmark harness emits.
+
+Examples::
+
+    python -m repro fig1b          # DRIPS power breakdown
+    python -m repro fig6a          # technique savings
+    python -m repro fig6a --break-even   # + the residency break-even line
+    python -m repro all            # every experiment in sequence
+    python -m repro battery --battery-wh 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.ablations import (
+    context_store_ablation,
+    gate_ablation,
+    mee_cache_ablation,
+    step_bits_ablation,
+    timer_location_ablation,
+)
+from repro.analysis.battery import BATTERY_WH, life_table
+from repro.analysis.breakeven import find_break_even
+from repro.analysis.report import format_table
+from repro.core.experiments import (
+    FIG6A_SETS,
+    fig1b_breakdown,
+    fig2_connected_standby,
+    fig6a_techniques,
+    fig6b_core_frequency,
+    fig6c_dram_frequency,
+    fig6d_emerging_memories,
+    sec413_calibration,
+    sec63_context_latency,
+    table1_parameters,
+)
+from repro.core.odrips import ODRIPSController
+from repro.core.techniques import TechniqueSet
+
+
+def cmd_fig1b(args: argparse.Namespace) -> None:
+    result = fig1b_breakdown()
+    rows = [
+        ["platform DRIPS power", f"{result.platform_drips_mw:.1f} mW", "~60 mW"],
+        ["wake-up hw (timer + XTAL)", f"{result.wakeup_and_crystal:.1%}", "~5 %"],
+        ["AON IOs", f"{result.shares['aon_ios']:.1%}", "7 %"],
+        ["S/R SRAMs", f"{result.shares['sr_srams']:.1%}", "9 %"],
+        ["processor total", f"{result.processor_total:.1%}", "18 %"],
+    ]
+    print(format_table(["component", "measured", "paper"], rows,
+                       title="Fig. 1(b) - DRIPS power breakdown"))
+
+
+def cmd_fig2(args: argparse.Namespace) -> None:
+    result = fig2_connected_standby(cycles=args.cycles)
+    rows = [
+        ["DRIPS residency", f"{result.drips_residency:.2%}", "99.5 %"],
+        ["DRIPS power", f"{result.drips_power_mw:.1f} mW", "~60 mW"],
+        ["Active power", f"{result.active_power_w:.2f} W", "~3 W"],
+        ["average power", f"{result.average_power_mw:.1f} mW", "~75 mW"],
+    ]
+    print(format_table(["quantity", "measured", "paper"], rows,
+                       title="Fig. 2 - connected standby (baseline)"))
+
+
+def cmd_fig6a(args: argparse.Namespace) -> None:
+    result = fig6a_techniques(cycles=args.cycles)
+    rows = [["Baseline (DRIPS)", f"{result.baseline_mw:.1f} mW", "-", "-"]]
+    for row in result.rows:
+        rows.append([row.label, f"{row.average_power_mw:.1f} mW",
+                     f"{row.saving:.1%}", f"{row.paper_saving:.0%}"])
+    print(format_table(["configuration", "avg power", "saving", "paper"],
+                       rows, title="Fig. 6(a) - technique savings"))
+    if args.break_even:
+        print()
+        rows = []
+        for label, techniques in FIG6A_SETS:
+            be = find_break_even(techniques)
+            rows.append([label, f"{be.break_even_ms:.2f} ms"])
+        print(format_table(["configuration", "break-even"], rows,
+                           title="Fig. 6(a) - break-even points"))
+
+
+def cmd_fig6b(args: argparse.Namespace) -> None:
+    rows = []
+    for row in fig6b_core_frequency(cycles=args.cycles):
+        paper = "-" if row.paper_delta is None else f"{row.paper_delta:+.1%}"
+        rows.append([f"{row.parameter:.1f} GHz", f"{row.average_power_mw:.2f} mW",
+                     f"{row.delta_vs_reference:+.2%}", paper])
+    print(format_table(["core freq", "avg power", "delta", "paper"], rows,
+                       title="Fig. 6(b) - core-frequency scaling (ODRIPS)"))
+
+
+def cmd_fig6c(args: argparse.Namespace) -> None:
+    rows = []
+    for row in fig6c_dram_frequency(cycles=args.cycles):
+        paper = "-" if row.paper_delta is None else f"{row.paper_delta:+.1%}"
+        rows.append([f"{row.parameter / 1e9:.3f} GHz", f"{row.average_power_mw:.2f} mW",
+                     f"{row.delta_vs_reference:+.2%}", paper])
+    print(format_table(["DRAM rate", "avg power", "delta", "paper"], rows,
+                       title="Fig. 6(c) - DRAM-frequency scaling (ODRIPS)"))
+
+
+def cmd_fig6d(args: argparse.Namespace) -> None:
+    rows = []
+    for row in fig6d_emerging_memories(cycles=args.cycles):
+        rows.append([row.label, f"{row.average_power_mw:.1f} mW",
+                     f"{row.saving_vs_baseline:.1%}", f"{row.paper_saving:.1%}"])
+    print(format_table(["configuration", "avg power", "saving", "paper"], rows,
+                       title="Fig. 6(d) - emerging memories"))
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    rows = [[name, value] for name, (value, _note) in table1_parameters().items()]
+    print(format_table(["parameter", "value"], rows, title="Table 1"))
+
+
+def cmd_latency(args: argparse.Namespace) -> None:
+    result = sec63_context_latency()
+    rows = [
+        ["context size", f"{result.context_bytes // 1024} KB", "~200 KB"],
+        ["save", f"{result.save_us:.1f} us", "~18 us"],
+        ["restore", f"{result.restore_us:.1f} us", "~13 us"],
+    ]
+    print(format_table(["quantity", "measured", "paper"], rows,
+                       title="Sec. 6.3 - context transfer latency"))
+
+
+def cmd_calibration(args: argparse.Namespace) -> None:
+    result = sec413_calibration()
+    rows = [
+        ["integer bits m", result.integer_bits, 10],
+        ["fractional bits f", result.fractional_bits, 21],
+        ["worst-case drift", f"{result.worst_case_drift_ppb:.2f} ppb", "<1 ppb"],
+    ]
+    print(format_table(["quantity", "measured", "paper"], rows,
+                       title="Sec. 4.1.3 - Step register sizing"))
+
+
+def cmd_ablations(args: argparse.Namespace) -> None:
+    print(format_table(
+        ["gate", "off leakage", "extra pins"],
+        [[r.gate, f"{r.off_leakage_mw * 1e3:.1f} uW",
+          "yes" if r.needs_processor_pins else "no"] for r in gate_ablation()],
+        title="Sec. 5.1 - EPG vs FET",
+    ))
+    print()
+    print(format_table(
+        ["design", "DRIPS saving", "enables IO gating"],
+        [[r.design, f"{r.drips_saving_mw:.2f} mW",
+          "yes" if r.enables_io_gating else "no"]
+         for r in timer_location_ablation()],
+        title="Sec. 4.1.1 - timer location",
+    ))
+    print()
+    print(format_table(
+        ["f bits", "drift", "calibration"],
+        [[r.fractional_bits, f"{r.worst_case_drift_ppb:.2f} ppb",
+          f"{r.calibration_seconds:.1f} s"] for r in step_bits_ablation()],
+        title="Sec. 4.1.3 - Step bits",
+    ))
+    print()
+    print(format_table(
+        ["cache nodes", "hit rate", "DRAM accesses/read"],
+        [[r.cache_nodes, f"{r.hit_rate:.1%}",
+          f"{r.metadata_accesses_per_read:.2f}"] for r in mee_cache_ablation()],
+        title="Sec. 6.2 - MEE cache",
+    ))
+    print()
+    print(format_table(
+        ["store", "avg power", "saving"],
+        [[r.store, f"{r.average_power_mw:.2f} mW",
+          f"{r.saving_vs_baseline:.1%}"] for r in context_store_ablation()],
+        title="Sec. 6.1 - context store",
+    ))
+
+
+def cmd_sensitivity(args: argparse.Namespace) -> None:
+    from repro.analysis.sensitivity import budget_sensitivity, workload_sensitivity
+
+    rows = [
+        [row.parameter, f"{row.saving_low:.1%}", f"{row.saving_nominal:.1%}",
+         f"{row.saving_high:.1%}"]
+        for row in budget_sensitivity()
+    ]
+    print(format_table(
+        ["constant (+/-25%)", "saving @ -25%", "nominal", "saving @ +25%"],
+        rows,
+        title="Sensitivity of the ODRIPS saving",
+    ))
+    print()
+    rows = [[f"{idle:.0f} s", f"{saving:.1%}"] for idle, saving in workload_sensitivity()]
+    print(format_table(["idle interval", "saving"], rows,
+                       title="Saving vs idle interval"))
+
+
+def cmd_temperature(args: argparse.Namespace) -> None:
+    from repro.analysis.scaling import drips_power_at_temperature
+    from repro.config import skylake_config
+
+    budget = skylake_config().budget
+    rows = []
+    for temp in (10.0, 20.0, 30.0, 40.0, 50.0, 60.0):
+        watts = drips_power_at_temperature(budget, temp)
+        rows.append([f"{temp:.0f} C", f"{watts * 1e3:.1f} mW"])
+    print(format_table(["temperature", "DRIPS power"], rows,
+                       title="DRIPS power vs temperature (Fig. 1(b) is at 30 C)"))
+
+
+def cmd_battery(args: argparse.Namespace) -> None:
+    measurements: Dict[str, float] = {}
+    for label, techniques in [
+        ("Baseline (DRIPS)", TechniqueSet.baseline()),
+        ("ODRIPS", TechniqueSet.odrips()),
+        ("ODRIPS-PCM", TechniqueSet.odrips_pcm()),
+    ]:
+        measurements[label] = ODRIPSController(techniques).measure(
+            cycles=args.cycles
+        ).average_power_w
+    rows = [
+        [label, f"{mw:.1f} mW", f"{days:.1f} days", f"{extra:+.1f} days"]
+        for label, mw, days, extra in life_table(measurements, args.battery_wh)
+    ]
+    print(format_table(
+        ["configuration", "avg power", f"standby on {args.battery_wh:.0f} Wh", "vs baseline"],
+        rows,
+        title="Connected-standby battery life",
+    ))
+
+
+COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "fig1b": cmd_fig1b,
+    "fig2": cmd_fig2,
+    "fig6a": cmd_fig6a,
+    "fig6b": cmd_fig6b,
+    "fig6c": cmd_fig6c,
+    "fig6d": cmd_fig6d,
+    "table1": cmd_table1,
+    "latency": cmd_latency,
+    "calibration": cmd_calibration,
+    "ablations": cmd_ablations,
+    "battery": cmd_battery,
+    "sensitivity": cmd_sensitivity,
+    "temperature": cmd_temperature,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the ODRIPS (HPCA 2020) experiments",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS) + ["all"],
+        help="which paper experiment to run",
+    )
+    parser.add_argument(
+        "--cycles", type=int, default=2,
+        help="measured connected-standby cycles per configuration (default 2)",
+    )
+    parser.add_argument(
+        "--break-even", action="store_true",
+        help="fig6a: also compute the residency break-even points (slower)",
+    )
+    parser.add_argument(
+        "--battery-wh", type=float, default=BATTERY_WH["surface-class"],
+        help="battery capacity for the battery command (default 38 Wh)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "all":
+        for name in ["table1", "fig1b", "fig2", "fig6a", "fig6b", "fig6c",
+                     "fig6d", "latency", "calibration", "ablations"]:
+            COMMANDS[name](args)
+            print()
+    else:
+        COMMANDS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Clock sources and distribution.
+
+Models the two platform crystals of Fig. 1(a)/Fig. 3(a) — the 24 MHz fast
+crystal and the 32.768 kHz real-time-clock crystal — plus gateable derived
+clocks and the clock-distribution buffers whose power scales with
+frequency.
+
+Edges are computed, never ticked: a :class:`CrystalOscillator` holds an
+integer period in picoseconds, so "the first rising edge at or after t" and
+"how many edges fall inside [t0, t1)" are exact integer arithmetic.  This
+is what makes the Step-calibration algorithm of Sec. 4.1.3 reproducible
+bit-for-bit.
+"""
+
+from repro.clocks.crystal import CrystalOscillator
+from repro.clocks.clock import DerivedClock, GateableClock
+from repro.clocks.tree import ClockBuffer, ClockTree
+
+__all__ = [
+    "ClockBuffer",
+    "ClockTree",
+    "CrystalOscillator",
+    "DerivedClock",
+    "GateableClock",
+]

@@ -1,0 +1,142 @@
+"""Crystal oscillator model.
+
+A crystal has a *nominal* frequency and a manufacturing/thermal frequency
+error in parts-per-million.  Its *effective* period is stored as an integer
+number of picoseconds, which defines the exact edge grid used by all timer
+arithmetic.  Because both the 24 MHz and the 32.768 kHz crystals carry
+independent errors, the fast/slow frequency ratio is neither exact nor an
+integer — precisely the situation the paper's fixed-point Step calibration
+(Sec. 4.1.3) is designed for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ClockError
+from repro.power.domain import Component
+from repro.units import PICOSECONDS_PER_SECOND, parts_per_million
+
+
+class CrystalOscillator:
+    """An on-board crystal oscillator (XTAL).
+
+    The oscillator can be enabled and disabled at run time (ODRIPS turns
+    the 24 MHz crystal off in deep idle).  Re-enabling incurs a start-up
+    delay during which the output is not yet stable; edge queries inside
+    the start-up window raise :class:`~repro.errors.ClockError`.
+
+    Edge grid: while enabled from time ``t_on``, rising edges occur at
+    ``t_on + startup + k * period_ps`` for ``k = 0, 1, 2, ...``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        nominal_hz: float,
+        ppm_error: float = 0.0,
+        power_watts: float = 0.0,
+        startup_time_ps: int = 0,
+        power_component: Optional[Component] = None,
+    ) -> None:
+        if nominal_hz <= 0:
+            raise ClockError(f"crystal {name}: frequency must be positive")
+        self.name = name
+        self.nominal_hz = nominal_hz
+        self.ppm_error = ppm_error
+        actual_hz = parts_per_million(nominal_hz, ppm_error)
+        self.period_ps = round(PICOSECONDS_PER_SECOND / actual_hz)
+        if self.period_ps <= 0:
+            raise ClockError(f"crystal {name}: frequency too high for 1 ps resolution")
+        self.power_watts = power_watts
+        self.startup_time_ps = startup_time_ps
+        self.power_component = power_component
+        self._enabled = True
+        self._anchor_ps = 0  # time of the first edge of the current run
+        self.enable_count = 0
+        self.disable_count = 0
+        if power_component is not None:
+            power_component.set_power(power_watts)
+
+    # --- effective frequency ----------------------------------------------------
+
+    @property
+    def effective_hz(self) -> float:
+        """The exact frequency implied by the integer period grid."""
+        return PICOSECONDS_PER_SECOND / self.period_ps
+
+    # --- enable / disable ----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def disable(self, now_ps: int) -> None:
+        """Stop the oscillator (saves its power; edges cease)."""
+        if not self._enabled:
+            return
+        self._enabled = False
+        self.disable_count += 1
+        if self.power_component is not None:
+            self.power_component.set_power(0.0)
+
+    def enable(self, now_ps: int) -> None:
+        """Restart the oscillator; stable after ``startup_time_ps``."""
+        if self._enabled:
+            return
+        self._enabled = True
+        self.enable_count += 1
+        self._anchor_ps = now_ps + self.startup_time_ps
+        if self.power_component is not None:
+            self.power_component.set_power(self.power_watts)
+
+    @property
+    def anchor_ps(self) -> int:
+        """Time of the first edge of the current enabled run."""
+        return self._anchor_ps
+
+    # --- edge arithmetic -------------------------------------------------------------
+
+    def _check_stable(self, time_ps: int) -> None:
+        if not self._enabled:
+            raise ClockError(f"crystal {self.name} is disabled")
+        if time_ps < self._anchor_ps:
+            raise ClockError(
+                f"crystal {self.name} not yet stable at t={time_ps}ps "
+                f"(stable from t={self._anchor_ps}ps)"
+            )
+
+    def next_edge(self, time_ps: int) -> int:
+        """First rising edge at or after ``time_ps``."""
+        if not self._enabled:
+            raise ClockError(f"crystal {self.name} is disabled")
+        if time_ps <= self._anchor_ps:
+            return self._anchor_ps
+        offset = time_ps - self._anchor_ps
+        k = -(-offset // self.period_ps)  # ceil division
+        return self._anchor_ps + k * self.period_ps
+
+    def previous_edge(self, time_ps: int) -> int:
+        """Last rising edge at or before ``time_ps``."""
+        self._check_stable(time_ps)
+        offset = time_ps - self._anchor_ps
+        return self._anchor_ps + (offset // self.period_ps) * self.period_ps
+
+    def edges_in(self, start_ps: int, stop_ps: int) -> int:
+        """Number of rising edges in the half-open interval [start, stop)."""
+        if stop_ps <= start_ps:
+            return 0
+        self._check_stable(start_ps)
+        first = self.next_edge(start_ps)
+        if first >= stop_ps:
+            return 0
+        return (stop_ps - 1 - first) // self.period_ps + 1
+
+    def edge_number(self, time_ps: int) -> int:
+        """Index of the last edge at or before ``time_ps`` (0-based)."""
+        self._check_stable(time_ps)
+        return (time_ps - self._anchor_ps) // self.period_ps
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "on" if self._enabled else "off"
+        return f"<XTAL {self.name} {self.nominal_hz:.0f}Hz {state}>"

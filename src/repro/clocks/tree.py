@@ -1,0 +1,98 @@
+"""Clock distribution tree with per-buffer power accounting.
+
+The differential 24 MHz clock buffers are one of the AON IO loads the paper
+power-gates (Sec. 5, "differential clock (24 MHz) buffers").  A
+:class:`ClockBuffer` draws power proportional to the frequency it
+distributes whenever its input crystal runs and the buffer is enabled; the
+:class:`ClockTree` groups buffers and exposes bulk enable/disable used by
+the ODRIPS entry flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.clocks.crystal import CrystalOscillator
+from repro.errors import ClockError
+from repro.power.domain import Component, PowerDomain
+
+
+class ClockBuffer:
+    """A distribution buffer re-driving a crystal's clock to consumers."""
+
+    def __init__(
+        self,
+        name: str,
+        source: CrystalOscillator,
+        domain: PowerDomain,
+        watts_per_hz: float,
+        static_watts: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.source = source
+        self.watts_per_hz = watts_per_hz
+        self.static_watts = static_watts
+        self.component: Component = domain.new_component(f"clkbuf:{name}")
+        self._enabled = True
+        self.refresh()
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+        self.refresh()
+
+    def disable(self) -> None:
+        self._enabled = False
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Recompute the buffer's draw from crystal + enable state."""
+        if self._enabled and self.source.enabled:
+            dynamic = self.watts_per_hz * self.source.effective_hz
+            self.component.set_power(self.static_watts, dynamic)
+        else:
+            self.component.set_power(0.0, 0.0)
+
+
+class ClockTree:
+    """A named collection of clock buffers with bulk control."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._buffers: Dict[str, ClockBuffer] = {}
+
+    def add(self, buffer: ClockBuffer) -> ClockBuffer:
+        if buffer.name in self._buffers:
+            raise ClockError(f"duplicate clock buffer {buffer.name!r}")
+        self._buffers[buffer.name] = buffer
+        return buffer
+
+    def buffer(self, name: str) -> ClockBuffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise ClockError(f"no clock buffer named {name!r}") from None
+
+    @property
+    def buffers(self) -> List[ClockBuffer]:
+        return list(self._buffers.values())
+
+    def disable_all(self) -> None:
+        for buffer in self._buffers.values():
+            buffer.disable()
+
+    def enable_all(self) -> None:
+        for buffer in self._buffers.values():
+            buffer.enable()
+
+    def refresh(self) -> None:
+        """Re-evaluate all buffers (after a crystal state change)."""
+        for buffer in self._buffers.values():
+            buffer.refresh()
+
+    def total_power(self) -> float:
+        """Sum of buffer component draws in watts."""
+        return sum(buffer.component.power_watts for buffer in self._buffers.values())

@@ -1,0 +1,21 @@
+"""The paper's core contribution: ODRIPS.
+
+* :class:`TechniqueSet` — the three techniques (WAKE-UP-OFF, AON-IO-GATE,
+  CTX-SGX-DRAM) as a composable, validated set.
+* :class:`ContextStore` — where the processor context lives in deep idle
+  (processor SRAM baseline, chipset SRAM, SGX-protected DRAM, eMRAM, PCM).
+* :class:`ODRIPSController` — the high-level API tying a platform to a
+  technique set and running connected-standby measurements.
+* :mod:`repro.core.experiments` — one driver per paper figure/table.
+"""
+
+from repro.core.techniques import ContextStore, Technique, TechniqueSet
+from repro.core.odrips import ODRIPSController, StandbyMeasurement
+
+__all__ = [
+    "ContextStore",
+    "ODRIPSController",
+    "StandbyMeasurement",
+    "Technique",
+    "TechniqueSet",
+]

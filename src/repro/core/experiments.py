@@ -1,0 +1,374 @@
+"""One driver per table/figure of the paper's evaluation.
+
+Each function runs the corresponding experiment on the simulator and
+returns a structured result carrying both the measured values and the
+paper's published values, so benches and ``EXPERIMENTS.md`` can print
+paper-vs-measured side by side.
+
+Index (see DESIGN.md for the full mapping):
+
+* :func:`fig1b_breakdown` — DRIPS power breakdown.
+* :func:`fig2_connected_standby` — baseline average power + residency.
+* :func:`fig6a_techniques` — per-technique savings (and break-evens).
+* :func:`fig6b_core_frequency` — core-frequency sweep.
+* :func:`fig6c_dram_frequency` — DRAM-frequency sweep.
+* :func:`fig6d_emerging_memories` — ODRIPS-MRAM / ODRIPS-PCM.
+* :func:`sec63_context_latency` — 200 KB context save/restore latency.
+* :func:`sec413_calibration` — Step register sizing (m=10, f=21).
+* :func:`table1_parameters` — system parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import (
+    PlatformConfig,
+    skylake_config,
+    table1_rows,
+)
+from repro.core.odrips import ODRIPSController, StandbyMeasurement
+from repro.core.techniques import TechniqueSet
+from repro.analysis.breakdown import fig1b_shares
+from repro.analysis.breakeven import find_break_even
+from repro.timers.calibration import (
+    fractional_bits_for_precision,
+    integer_bits_for_ratio,
+    worst_case_drift_ppb,
+)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1(b)
+# ---------------------------------------------------------------------------
+
+#: Paper's Fig. 1(b) shares (fractions of platform DRIPS power).
+FIG1B_PAPER = {
+    "wakeup_and_crystal": 0.05,   # timer/monitor + 24 MHz crystal
+    "aon_ios": 0.07,
+    "sr_srams": 0.09,
+    "processor_total": 0.18,
+}
+
+
+@dataclass
+class Fig1bResult:
+    platform_drips_mw: float
+    shares: Dict[str, float]
+    paper_shares: Dict[str, float] = field(default_factory=lambda: dict(FIG1B_PAPER))
+
+    @property
+    def wakeup_and_crystal(self) -> float:
+        return self.shares.get("wakeup_timer_monitor", 0.0) + self.shares.get(
+            "fast_crystal_24mhz", 0.0
+        )
+
+    @property
+    def processor_total(self) -> float:
+        return (
+            self.shares.get("wakeup_timer_monitor", 0.0)
+            + self.shares.get("aon_ios", 0.0)
+            + self.shares.get("sr_srams", 0.0)
+            + self.shares.get("pmu", 0.0)
+            + self.shares.get("cke", 0.0)
+        )
+
+
+def fig1b_breakdown(config: Optional[PlatformConfig] = None) -> Fig1bResult:
+    """Reproduce the DRIPS power breakdown of Fig. 1(b)."""
+    cfg = config if config is not None else skylake_config()
+    shares = fig1b_shares(TechniqueSet.baseline(), cfg)
+    return Fig1bResult(
+        platform_drips_mw=cfg.budget.platform_total_w() * 1e3,
+        shares=shares,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig2Result:
+    average_power_mw: float
+    drips_power_mw: float
+    active_power_w: float
+    drips_residency: float
+    paper_drips_power_mw: float = 60.0
+    paper_active_power_w: float = 3.0
+    paper_drips_residency: float = 0.995
+
+
+def fig2_connected_standby(
+    config: Optional[PlatformConfig] = None, cycles: int = 2
+) -> Fig2Result:
+    """Reproduce the connected-standby picture of Fig. 2 (baseline)."""
+    measurement = ODRIPSController(TechniqueSet.baseline(), config=config).measure(
+        cycles=cycles
+    )
+    return Fig2Result(
+        average_power_mw=measurement.average_power_w * 1e3,
+        drips_power_mw=measurement.drips_power_w * 1e3,
+        active_power_w=measurement.active_power_w,
+        drips_residency=measurement.drips_residency,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6(a)
+# ---------------------------------------------------------------------------
+
+#: Paper's Fig. 6(a): average-power saving and break-even per bar.
+FIG6A_PAPER = {
+    "WAKE-UP-OFF": (0.06, 6.6e-3),
+    "AON-IO-GATE": (0.13, 6.3e-3),
+    "CTX-SGX-DRAM": (0.08, 7.4e-3),
+    "ODRIPS": (0.22, 6.5e-3),
+}
+
+FIG6A_SETS: List[Tuple[str, TechniqueSet]] = [
+    ("WAKE-UP-OFF", TechniqueSet.wake_up_off_only()),
+    ("AON-IO-GATE", TechniqueSet.with_io_gating()),
+    ("CTX-SGX-DRAM", TechniqueSet.ctx_sgx_dram_only()),
+    ("ODRIPS", TechniqueSet.odrips()),
+]
+
+
+@dataclass
+class Fig6aRow:
+    label: str
+    average_power_mw: float
+    saving: float
+    paper_saving: float
+    break_even_ms: Optional[float]
+    paper_break_even_ms: float
+
+
+@dataclass
+class Fig6aResult:
+    baseline_mw: float
+    rows: List[Fig6aRow]
+
+
+def fig6a_techniques(
+    config: Optional[PlatformConfig] = None,
+    cycles: int = 2,
+    with_break_even: bool = False,
+    break_even_iterations: int = 10,
+) -> Fig6aResult:
+    """Reproduce the Fig. 6(a) bars (and, optionally, the blue line).
+
+    ``with_break_even`` runs the residency-sweep bisection per bar; it is
+    off by default because it simulates dozens of extra configurations.
+    """
+    baseline = ODRIPSController(TechniqueSet.baseline(), config=config).measure(cycles=cycles)
+    rows: List[Fig6aRow] = []
+    for label, techniques in FIG6A_SETS:
+        measurement = ODRIPSController(techniques, config=config).measure(cycles=cycles)
+        paper_saving, paper_be = FIG6A_PAPER[label]
+        break_even_ms: Optional[float] = None
+        if with_break_even:
+            break_even_ms = find_break_even(
+                techniques, config=config, iterations=break_even_iterations
+            ).break_even_ms
+        rows.append(
+            Fig6aRow(
+                label=label,
+                average_power_mw=measurement.average_power_w * 1e3,
+                saving=measurement.saving_vs(baseline),
+                paper_saving=paper_saving,
+                break_even_ms=break_even_ms,
+                paper_break_even_ms=paper_be * 1e3,
+            )
+        )
+    return Fig6aResult(baseline_mw=baseline.average_power_w * 1e3, rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6(b) / Fig. 6(c)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepRow:
+    parameter: float
+    average_power_mw: float
+    delta_vs_reference: float
+    paper_delta: Optional[float]
+
+
+#: Paper's Fig. 6(b): deltas vs the 0.8 GHz ODRIPS reference.
+FIG6B_PAPER = {0.8: 0.0, 1.0: -0.014, 1.5: +0.01}
+
+#: Paper's Fig. 6(c): deltas vs the 1.6 GHz DRAM reference.
+FIG6C_PAPER = {1.6e9: 0.0, 1.067e9: -0.003, 0.8e9: -0.007}
+
+
+def fig6b_core_frequency(
+    config: Optional[PlatformConfig] = None,
+    frequencies_ghz: Tuple[float, ...] = (0.8, 1.0, 1.5),
+    cycles: int = 2,
+) -> List[SweepRow]:
+    """Reproduce the core-frequency sweep of Fig. 6(b) (ODRIPS platform)."""
+    rows: List[SweepRow] = []
+    reference: Optional[float] = None
+    for freq in frequencies_ghz:
+        measurement = ODRIPSController(TechniqueSet.odrips(), config=config).measure(
+            cycles=cycles, core_freq_ghz=freq
+        )
+        watts = measurement.average_power_w
+        if reference is None:
+            reference = watts
+        rows.append(
+            SweepRow(
+                parameter=freq,
+                average_power_mw=watts * 1e3,
+                delta_vs_reference=watts / reference - 1.0,
+                paper_delta=FIG6B_PAPER.get(freq),
+            )
+        )
+    return rows
+
+
+def fig6c_dram_frequency(
+    config: Optional[PlatformConfig] = None,
+    rates_hz: Tuple[float, ...] = (1.6e9, 1.067e9, 0.8e9),
+    cycles: int = 2,
+) -> List[SweepRow]:
+    """Reproduce the DRAM-frequency sweep of Fig. 6(c) (ODRIPS platform)."""
+    rows: List[SweepRow] = []
+    reference: Optional[float] = None
+    for rate in rates_hz:
+        measurement = ODRIPSController(TechniqueSet.odrips(), config=config).measure(
+            cycles=cycles, dram_rate_hz=rate
+        )
+        watts = measurement.average_power_w
+        if reference is None:
+            reference = watts
+        rows.append(
+            SweepRow(
+                parameter=rate,
+                average_power_mw=watts * 1e3,
+                delta_vs_reference=watts / reference - 1.0,
+                paper_delta=FIG6C_PAPER.get(rate),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6(d)
+# ---------------------------------------------------------------------------
+
+FIG6D_PAPER_SAVINGS = {"ODRIPS": 0.22, "ODRIPS-MRAM": 0.225, "ODRIPS-PCM": 0.37}
+
+
+@dataclass
+class Fig6dRow:
+    label: str
+    average_power_mw: float
+    saving_vs_baseline: float
+    paper_saving: float
+    break_even_ms: Optional[float]
+
+
+def fig6d_emerging_memories(
+    config: Optional[PlatformConfig] = None,
+    cycles: int = 2,
+    with_break_even: bool = False,
+) -> List[Fig6dRow]:
+    """Reproduce Fig. 6(d): context stored in eMRAM / PCM main memory."""
+    baseline = ODRIPSController(TechniqueSet.baseline(), config=config).measure(cycles=cycles)
+    rows: List[Fig6dRow] = []
+    for label, techniques in [
+        ("ODRIPS", TechniqueSet.odrips()),
+        ("ODRIPS-MRAM", TechniqueSet.odrips_mram()),
+        ("ODRIPS-PCM", TechniqueSet.odrips_pcm()),
+    ]:
+        measurement = ODRIPSController(techniques, config=config).measure(cycles=cycles)
+        break_even_ms: Optional[float] = None
+        if with_break_even:
+            break_even_ms = find_break_even(techniques, config=config).break_even_ms
+        rows.append(
+            Fig6dRow(
+                label=label,
+                average_power_mw=measurement.average_power_w * 1e3,
+                saving_vs_baseline=measurement.saving_vs(baseline),
+                paper_saving=FIG6D_PAPER_SAVINGS[label],
+                break_even_ms=break_even_ms,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Sec. 6.3: context transfer latency
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ContextLatencyResult:
+    save_us: float
+    restore_us: float
+    context_bytes: int
+    paper_save_us: float = 18.0
+    paper_restore_us: float = 13.0
+    sgx_region_fraction: float = 0.0
+
+
+def sec63_context_latency(config: Optional[PlatformConfig] = None) -> ContextLatencyResult:
+    """Measure the 200 KB context save/restore latency through the MEE."""
+    controller = ODRIPSController(TechniqueSet.ctx_sgx_dram_only(), config=config)
+    platform = controller.build_platform()
+    from repro.workloads.standby import ConnectedStandbyRunner
+
+    runner = ConnectedStandbyRunner(platform, idle_interval_s=1.0, maintenance_s=0.02)
+    runner.run(cycles=1)
+    stats = runner.flows.stats
+    cfg = platform.config
+    return ContextLatencyResult(
+        save_us=stats.ctx_save_latencies_ps[-1] / 1e6,
+        restore_us=stats.ctx_restore_latencies_ps[-1] / 1e6,
+        context_bytes=cfg.context.total_bytes,
+        sgx_region_fraction=cfg.context.total_bytes / cfg.sgx_region_bytes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sec. 4.1.3: Step calibration sizing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CalibrationSizingResult:
+    integer_bits: int
+    fractional_bits: int
+    worst_case_drift_ppb: float
+    paper_integer_bits: int = 10
+    paper_fractional_bits: int = 21
+
+
+def sec413_calibration(config: Optional[PlatformConfig] = None) -> CalibrationSizingResult:
+    """Equations 2-4: the Step register needs m=10, f=21 for 1 ppb."""
+    cfg = config if config is not None else skylake_config()
+    m = integer_bits_for_ratio(cfg.fast_xtal_hz, cfg.slow_xtal_hz)
+    f = fractional_bits_for_precision(
+        cfg.fast_xtal_hz, cfg.slow_xtal_hz, cfg.timer_precision_ppb
+    )
+    return CalibrationSizingResult(
+        integer_bits=m,
+        fractional_bits=f,
+        worst_case_drift_ppb=worst_case_drift_ppb(cfg.fast_xtal_hz, cfg.slow_xtal_hz, f),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+
+def table1_parameters() -> Dict[str, Tuple[str, str]]:
+    """The system parameters of Table 1 (from the configurations)."""
+    return table1_rows()

@@ -1,0 +1,142 @@
+"""The high-level ODRIPS API.
+
+``ODRIPSController`` is the front door of the library: pick a technique
+set, get a wired platform, run connected-standby measurements, and
+compare against the baseline — the workflow behind every figure of the
+evaluation.
+
+Example::
+
+    from repro.core import ODRIPSController, TechniqueSet
+
+    baseline = ODRIPSController(TechniqueSet.baseline()).measure(cycles=2)
+    odrips = ODRIPSController(TechniqueSet.odrips()).measure(cycles=2)
+    saving = 1 - odrips.average_power_w / baseline.average_power_w
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import PlatformConfig, StandbyWorkloadConfig, skylake_config
+from repro.core.techniques import TechniqueSet
+from repro.system.skylake import SkylakePlatform
+from repro.workloads.standby import ConnectedStandbyRunner, StandbyResult
+
+
+@dataclass
+class StandbyMeasurement:
+    """A digested connected-standby measurement."""
+
+    label: str
+    average_power_w: float
+    drips_power_w: float
+    drips_residency: float
+    active_power_w: float
+    entry_latency_us: float
+    exit_latency_us: float
+    drips_breakdown_w: Dict[str, float]
+
+    @classmethod
+    def from_result(cls, label: str, result: StandbyResult) -> "StandbyMeasurement":
+        entry = result.entry_latencies_ps
+        exits = result.exit_latencies_ps
+        return cls(
+            label=label,
+            average_power_w=result.average_power_w,
+            drips_power_w=result.drips_power_w,
+            drips_residency=result.drips_residency,
+            active_power_w=result.active_power_w,
+            entry_latency_us=(sum(entry) / len(entry) / 1e6) if entry else 0.0,
+            exit_latency_us=(sum(exits) / len(exits) / 1e6) if exits else 0.0,
+            drips_breakdown_w=result.drips_breakdown_w,
+        )
+
+    def saving_vs(self, baseline: "StandbyMeasurement") -> float:
+        """Fractional average-power saving against ``baseline``."""
+        return 1.0 - self.average_power_w / baseline.average_power_w
+
+
+class ODRIPSController:
+    """Builds a platform for a technique set and runs measurements.
+
+    Each measurement builds a *fresh* platform (the paper's debug switch
+    equivalent: flip the configuration, re-run the workload) so runs are
+    independent and deterministic.
+    """
+
+    def __init__(
+        self,
+        techniques: Optional[TechniqueSet] = None,
+        config: Optional[PlatformConfig] = None,
+        workload: Optional[StandbyWorkloadConfig] = None,
+    ) -> None:
+        self.techniques = techniques if techniques is not None else TechniqueSet.baseline()
+        self.config = config if config is not None else skylake_config()
+        self.workload = workload if workload is not None else StandbyWorkloadConfig()
+
+    def build_platform(self, **platform_kwargs) -> SkylakePlatform:
+        """A freshly wired platform for this technique set."""
+        return SkylakePlatform(self.config, self.techniques, **platform_kwargs)
+
+    def measure(
+        self,
+        cycles: int = 2,
+        idle_interval_s: Optional[float] = None,
+        maintenance_s: Optional[float] = None,
+        core_freq_ghz: Optional[float] = None,
+        dram_rate_hz: Optional[float] = None,
+        external_wakes: bool = False,
+        period_s: Optional[float] = None,
+    ) -> StandbyMeasurement:
+        """Run a connected-standby measurement and digest the result."""
+        platform = self.build_platform()
+        if core_freq_ghz is not None:
+            platform.set_core_frequency(core_freq_ghz)
+        if dram_rate_hz is not None:
+            platform.set_dram_frequency(dram_rate_hz)
+        runner = ConnectedStandbyRunner(
+            platform,
+            workload=self.workload,
+            idle_interval_s=idle_interval_s,
+            maintenance_s=maintenance_s,
+            external_wakes=external_wakes,
+            period_s=period_s,
+        )
+        result = runner.run(cycles=cycles)
+        return StandbyMeasurement.from_result(self.techniques.label(), result)
+
+    def measure_raw(
+        self,
+        cycles: int = 2,
+        idle_interval_s: Optional[float] = None,
+        maintenance_s: Optional[float] = None,
+    ) -> StandbyResult:
+        """Run a measurement and return the full :class:`StandbyResult`."""
+        platform = self.build_platform()
+        runner = ConnectedStandbyRunner(
+            platform,
+            workload=self.workload,
+            idle_interval_s=idle_interval_s,
+            maintenance_s=maintenance_s,
+        )
+        return runner.run(cycles=cycles)
+
+    def measure_raw_periodic(
+        self,
+        cycles: int,
+        maintenance_s: float,
+        period_s: float,
+        idle_s: float,
+    ) -> StandbyResult:
+        """Fixed-period run (the break-even sweep schedule of Sec. 7)."""
+        platform = self.build_platform()
+        runner = ConnectedStandbyRunner(
+            platform,
+            workload=self.workload,
+            idle_interval_s=idle_s,
+            maintenance_s=maintenance_s,
+            period_s=period_s,
+        )
+        return runner.run(cycles=cycles)

@@ -1,0 +1,169 @@
+"""The three ODRIPS techniques and the context-store choice.
+
+Sec. 8 evaluates the techniques incrementally:
+
+* **WAKE-UP-OFF** — migrate timer wake-event handling to the chipset and
+  toggle it with the 32.768 kHz clock so all processor-side clock sources
+  (including the 24 MHz crystal) can be turned off (Sec. 4).
+* **AON-IO-GATE** — offload all AON IO functionality to the chipset and
+  power-gate the processor's AON IO bank through an on-board FET
+  (Sec. 5).  *Requires* WAKE-UP-OFF: "the power gating of AON IOs should
+  be applied along with wake-up event handling as the latter facilitates
+  the power-gating of AON IOs by migrating the timer to the chipset"
+  (Sec. 8, footnote 4).
+* **CTX-SGX-DRAM** — store the processor context in a protected DRAM
+  region through the MEE instead of in on-chip S/R SRAMs (Sec. 6).
+  Independent of the other two.
+
+Sec. 8.3 swaps the context store: eMRAM (ODRIPS-MRAM) and PCM as main
+memory (ODRIPS-PCM).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Iterable
+
+from repro.errors import ConfigError
+
+
+class Technique(enum.Enum):
+    """One of the three ODRIPS power-reduction techniques."""
+
+    WAKE_UP_OFF = "wake-up-off"
+    AON_IO_GATE = "aon-io-gate"
+    CTX_SGX_DRAM = "ctx-sgx-dram"
+
+
+class ContextStore(enum.Enum):
+    """Where the processor context is held while in deep idle."""
+
+    PROCESSOR_SRAM = "processor-sram"   # baseline: high-leakage S/R SRAMs
+    CHIPSET_SRAM = "chipset-sram"       # Sec. 6.1 alternative 2 (5x less leaky)
+    DRAM_SGX = "dram-sgx"               # the paper's choice (CTX-SGX-DRAM)
+    EMRAM = "emram"                     # Sec. 8.3 ODRIPS-MRAM
+    PCM = "pcm"                         # Sec. 8.3 ODRIPS-PCM (replaces DRAM)
+
+    @property
+    def off_chip(self) -> bool:
+        """True when the context leaves the processor die."""
+        return self in (ContextStore.CHIPSET_SRAM, ContextStore.DRAM_SGX, ContextStore.PCM)
+
+    @property
+    def non_volatile(self) -> bool:
+        """True when the store retains data with its supply removed."""
+        return self in (ContextStore.EMRAM, ContextStore.PCM)
+
+
+class TechniqueSet:
+    """A validated combination of techniques plus the context store."""
+
+    def __init__(
+        self,
+        techniques: Iterable[Technique] = (),
+        context_store: ContextStore = ContextStore.PROCESSOR_SRAM,
+    ) -> None:
+        self.techniques: FrozenSet[Technique] = frozenset(techniques)
+        self.context_store = context_store
+        self._validate()
+
+    def _validate(self) -> None:
+        if Technique.AON_IO_GATE in self.techniques and Technique.WAKE_UP_OFF not in self.techniques:
+            raise ConfigError(
+                "AON-IO-GATE requires WAKE-UP-OFF: the chipset must own the "
+                "wake events before the processor IO bank can be gated "
+                "(Sec. 8, footnote 4)"
+            )
+        context_moved = self.context_store is not ContextStore.PROCESSOR_SRAM
+        if context_moved != (Technique.CTX_SGX_DRAM in self.techniques):
+            if self.context_store in (ContextStore.DRAM_SGX, ContextStore.CHIPSET_SRAM,
+                                      ContextStore.EMRAM, ContextStore.PCM):
+                raise ConfigError(
+                    f"context store {self.context_store.value} requires the "
+                    "CTX-SGX-DRAM technique to be enabled"
+                )
+            raise ConfigError(
+                "CTX-SGX-DRAM enabled but the context store is still the "
+                "processor SRAM"
+            )
+
+    # --- queries ------------------------------------------------------------
+
+    def __contains__(self, technique: Technique) -> bool:
+        return technique in self.techniques
+
+    @property
+    def wake_up_off(self) -> bool:
+        return Technique.WAKE_UP_OFF in self.techniques
+
+    @property
+    def aon_io_gate(self) -> bool:
+        return Technique.AON_IO_GATE in self.techniques
+
+    @property
+    def ctx_offloaded(self) -> bool:
+        return Technique.CTX_SGX_DRAM in self.techniques
+
+    @property
+    def is_baseline(self) -> bool:
+        return not self.techniques
+
+    @property
+    def is_full_odrips(self) -> bool:
+        return self.techniques == frozenset(Technique)
+
+    def label(self) -> str:
+        """The name the paper uses for this combination in Fig. 6."""
+        if self.is_baseline:
+            return "Baseline (DRIPS)"
+        if self.is_full_odrips:
+            if self.context_store is ContextStore.EMRAM:
+                return "ODRIPS-MRAM"
+            if self.context_store is ContextStore.PCM:
+                return "ODRIPS-PCM"
+            return "ODRIPS"
+        if self.techniques == {Technique.WAKE_UP_OFF}:
+            return "WAKE-UP-OFF"
+        if self.techniques == {Technique.WAKE_UP_OFF, Technique.AON_IO_GATE}:
+            return "AON-IO-GATE"
+        if self.techniques == {Technique.CTX_SGX_DRAM}:
+            return "CTX-SGX-DRAM"
+        return "+".join(sorted(t.value for t in self.techniques))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TechniqueSet {self.label()} store={self.context_store.value}>"
+
+    # --- canonical sets -------------------------------------------------------
+
+    @classmethod
+    def baseline(cls) -> "TechniqueSet":
+        """Baseline DRIPS: no techniques, context in processor SRAM."""
+        return cls()
+
+    @classmethod
+    def wake_up_off_only(cls) -> "TechniqueSet":
+        return cls({Technique.WAKE_UP_OFF})
+
+    @classmethod
+    def with_io_gating(cls) -> "TechniqueSet":
+        """Techniques 1 + 2 (the paper's AON-IO-GATE bar includes 1)."""
+        return cls({Technique.WAKE_UP_OFF, Technique.AON_IO_GATE})
+
+    @classmethod
+    def ctx_sgx_dram_only(cls) -> "TechniqueSet":
+        return cls({Technique.CTX_SGX_DRAM}, ContextStore.DRAM_SGX)
+
+    @classmethod
+    def odrips(cls, context_store: ContextStore = ContextStore.DRAM_SGX) -> "TechniqueSet":
+        """All three techniques; optionally with an NVM context store."""
+        if context_store is ContextStore.PROCESSOR_SRAM:
+            raise ConfigError("full ODRIPS moves the context off the processor SRAM")
+        return cls(frozenset(Technique), context_store)
+
+    @classmethod
+    def odrips_mram(cls) -> "TechniqueSet":
+        return cls.odrips(ContextStore.EMRAM)
+
+    @classmethod
+    def odrips_pcm(cls) -> "TechniqueSet":
+        return cls.odrips(ContextStore.PCM)

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the ODRIPS reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """A violation of the discrete-event simulation contract.
+
+    Examples: scheduling an event in the past, running a kernel that has
+    already been shut down, or re-entering :meth:`Kernel.run`.
+    """
+
+
+class PowerError(ReproError):
+    """An inconsistency in the power-delivery model.
+
+    Examples: enabling a component whose supply rail is off, negative power
+    levels, or a regulator asked to supply more than its rated load.
+    """
+
+
+class ClockError(ReproError):
+    """A clock-tree misuse, such as reading a gated clock's edge."""
+
+
+class TimerError(ReproError):
+    """A timer-subsystem failure (calibration misuse, handoff ordering)."""
+
+
+class MemoryFault(ReproError):
+    """An illegal access to a memory device or controller.
+
+    Examples: out-of-range addresses, access to DRAM while it is in
+    self-refresh, or writing a powered-down SRAM.
+    """
+
+
+class SecurityError(ReproError):
+    """An integrity or freshness violation detected by the MEE.
+
+    Raised when a protected-region read fails MAC verification or the
+    integrity-tree walk detects a replayed/tampered block.
+    """
+
+
+class FlowError(ReproError):
+    """An illegal power-state transition in the DRIPS/ODRIPS flows.
+
+    Examples: requesting DRIPS entry while a compute domain is still
+    active, or exiting a state the platform is not in.
+    """
+
+
+class IOError_(ReproError):
+    """An IO-subsystem failure (PML protocol, gated pad access).
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IOError` alias of :class:`OSError`.
+    """
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent platform configuration."""
+
+
+class WorkloadError(ReproError):
+    """An invalid workload description (negative durations, bad phases)."""
+
+
+class MeasurementError(ReproError):
+    """A misuse of the measurement instruments (analyzer, counters)."""

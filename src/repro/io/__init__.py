@@ -1,0 +1,29 @@
+"""IO subsystem: AON IO pads, PML, GPIOs, and the embedded controller.
+
+Models the processor's always-on IOs of Observation 2 (Sec. 3): the
+differential 24 MHz clock buffers, the two power-management-link (PML)
+interfaces, thermal reporting from the embedded controller, and the
+voltage-regulator/reset/debug interfaces — plus the chipset-side GPIO
+machinery (spare GPIO allocation, 32 kHz input monitoring) that lets the
+chipset take these functions over so the processor bank can be
+power-gated through the on-board FET (Sec. 5).
+"""
+
+from repro.io.pads import AONIOBank, IOPad
+from repro.io.pml import PMLChannel, PMLLink, PMLMessage
+from repro.io.gpio import GPIOController, GPIOMonitor
+from repro.io.ec import EmbeddedController
+from repro.io.wake import WakeEvent, WakeEventType
+
+__all__ = [
+    "AONIOBank",
+    "EmbeddedController",
+    "GPIOController",
+    "GPIOMonitor",
+    "IOPad",
+    "PMLChannel",
+    "PMLLink",
+    "PMLMessage",
+    "WakeEvent",
+    "WakeEventType",
+]

@@ -1,0 +1,78 @@
+"""The board's embedded controller (EC).
+
+The EC reports thermal events to the processor over a dedicated AON
+interface in the baseline ("thermal reporting interface from the board",
+Sec. 3 Observation 2).  In ODRIPS that interface is offloaded: the EC line
+is re-routed to a spare chipset GPIO monitored at 32 kHz (Sec. 5.2).
+
+The thermal model is a simple exponential-settling skin-temperature model
+driven by platform power — enough to generate realistic, rare thermal
+wake events during connected standby and frequent ones under load.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.sim.kernel import Kernel
+from repro.sim.signals import Signal
+
+
+class EmbeddedController:
+    """Thermal supervisor raising a wake line when a trip point crosses."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        ambient_celsius: float = 30.0,
+        trip_celsius: float = 45.0,
+        celsius_per_watt: float = 8.0,
+        time_constant_s: float = 30.0,
+    ) -> None:
+        self.kernel = kernel
+        self.ambient_celsius = ambient_celsius
+        self.trip_celsius = trip_celsius
+        self.celsius_per_watt = celsius_per_watt
+        self.time_constant_s = time_constant_s
+        self.thermal_line = Signal("ec.thermal_event", initial=False)
+        self._temperature = ambient_celsius
+        self._power_watts = 0.0
+        self._last_update_ps = 0
+        self.trip_count = 0
+
+    @property
+    def temperature_celsius(self) -> float:
+        return self._temperature
+
+    def observe_power(self, now_ps: int, platform_watts: float) -> None:
+        """Advance the thermal state to ``now_ps`` under the old power,
+        then switch to the new power level."""
+        self._advance(now_ps)
+        self._power_watts = platform_watts
+
+    def _advance(self, now_ps: int) -> None:
+        elapsed_s = (now_ps - self._last_update_ps) / 1e12
+        self._last_update_ps = now_ps
+        if elapsed_s <= 0:
+            return
+        target = self.ambient_celsius + self.celsius_per_watt * self._power_watts
+        decay = math.exp(-elapsed_s / self.time_constant_s)
+        self._temperature = target + (self._temperature - target) * decay
+        self._check_trip()
+
+    def _check_trip(self) -> None:
+        if self._temperature >= self.trip_celsius and not self.thermal_line.value:
+            self.trip_count += 1
+            self.thermal_line.assert_()
+        elif self._temperature < self.trip_celsius - 2.0 and self.thermal_line.value:
+            self.thermal_line.deassert()  # 2 degree hysteresis
+
+    def force_thermal_event(self) -> None:
+        """Test hook: assert the thermal line regardless of temperature."""
+        self.trip_count += 1
+        self.thermal_line.assert_()
+
+    def clear(self) -> None:
+        """Deassert the thermal line (event serviced)."""
+        self.thermal_line.deassert()

@@ -1,0 +1,130 @@
+"""Chipset GPIOs and the slow-clock input monitor.
+
+Sec. 5.3: "The chipset has a number of spare (unused) GPIOs.  We use two
+of these spare GPIOs to facilitate IO power-gating" — one to offload the
+embedded controller's thermal wake and one to drive the FET gate.  The
+thermal input is "monitor[ed] ... with the 32KHz clock signal inside the
+chipset's PMU" (Sec. 5.2), so a level change is observed only at the next
+32 kHz edge — a deliberate latency-for-power trade the bench can measure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.clocks.clock import DerivedClock
+from repro.errors import IOError_
+from repro.sim.kernel import Kernel
+from repro.sim.signals import Signal
+
+
+class GPIOController:
+    """A bank of general-purpose IOs with spare-pin bookkeeping."""
+
+    def __init__(self, name: str, total: int = 64, reserved: int = 48) -> None:
+        if reserved > total:
+            raise IOError_(f"{name}: reserved > total GPIOs")
+        self.name = name
+        self.total = total
+        self._next_spare = reserved
+        self._allocations: Dict[int, str] = {}
+        self._signals: Dict[int, Signal] = {}
+
+    @property
+    def spare_available(self) -> int:
+        return self.total - self._next_spare
+
+    def allocate_spare(self, purpose: str) -> int:
+        """Claim one spare GPIO; returns its index."""
+        if self._next_spare >= self.total:
+            raise IOError_(f"{self.name}: no spare GPIOs left")
+        index = self._next_spare
+        self._next_spare += 1
+        self._allocations[index] = purpose
+        return index
+
+    def allocation(self, index: int) -> Optional[str]:
+        return self._allocations.get(index)
+
+    @property
+    def allocations(self) -> Dict[int, str]:
+        return dict(self._allocations)
+
+    def signal(self, index: int) -> Signal:
+        """The level signal of GPIO ``index`` (created lazily)."""
+        if index < 0 or index >= self.total:
+            raise IOError_(f"{self.name}: GPIO {index} out of range")
+        if index not in self._signals:
+            self._signals[index] = Signal(f"{self.name}.gpio{index}", initial=False)
+        return self._signals[index]
+
+    def drive(self, index: int, level: bool) -> None:
+        """Drive GPIO ``index`` as an output."""
+        self.signal(index).set(bool(level))
+
+    def read(self, index: int) -> bool:
+        """Sample GPIO ``index`` as an input."""
+        return bool(self.signal(index).value)
+
+
+class GPIOMonitor:
+    """Samples an input GPIO on every rising edge of a (slow) clock.
+
+    A level change is reported at the first clock edge at or after it
+    occurred — i.e. with up to one slow-clock period (~30.5 us at
+    32.768 kHz) of detection latency.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        clock: DerivedClock,
+        line: Signal,
+        on_rising: Callable[[], None],
+        name: str = "gpio-monitor",
+    ) -> None:
+        self.kernel = kernel
+        self.clock = clock
+        self.line = line
+        self.on_rising = on_rising
+        self.name = name
+        self._armed = False
+        self._last_sample = bool(line.value)
+        self._unsubscribe: Optional[Callable[[], None]] = None
+        self.detections = 0
+        self.detection_latencies_ps: List[int] = []
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def arm(self) -> None:
+        """Start watching the line (entering ODRIPS)."""
+        if self._armed:
+            return
+        self._armed = True
+        self._last_sample = bool(self.line.value)
+        self._unsubscribe = self.line.watch(self._on_change)
+
+    def disarm(self) -> None:
+        """Stop watching (normal operation resumed)."""
+        self._armed = False
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def _on_change(self, _signal: Signal, old: Any, new: Any) -> None:
+        if not self._armed or not new or old:
+            return
+        changed_at = self.kernel.now
+        sample_at = self.clock.next_edge(changed_at)
+
+        def sample() -> None:
+            if not self._armed:
+                return
+            if bool(self.line.value):
+                self.detections += 1
+                self.detection_latencies_ps.append(self.kernel.now - changed_at)
+                self.on_rising()
+
+        self.kernel.schedule_at(sample_at, sample, label=f"{self.name}:sample")

@@ -1,0 +1,105 @@
+"""IO pads and the processor's always-on IO bank.
+
+Each pad carries a leakage draw (the pad driver and its level shifters)
+plus a toggling term for clocked interfaces.  The bank groups the pads
+behind one power boundary: in baseline DRIPS the bank stays on (it *is*
+the 7 % AON-IO slice of Fig. 1(b)); in ODRIPS the chipset opens the
+on-board FET and the whole bank drops to gate leakage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import IOError_
+from repro.power.domain import Component, PowerDomain
+
+
+class IOPad:
+    """One always-on IO interface of the processor."""
+
+    def __init__(
+        self,
+        name: str,
+        domain: PowerDomain,
+        leakage_watts: float,
+        toggle_watts: float = 0.0,
+        wake_capable: bool = False,
+    ) -> None:
+        self.name = name
+        self.wake_capable = wake_capable
+        self.toggle_watts = toggle_watts
+        self.component: Component = domain.new_component(f"io:{name}", leakage_watts)
+        self._toggling = False
+
+    @property
+    def toggling(self) -> bool:
+        return self._toggling
+
+    def start_toggling(self) -> None:
+        """The interface is actively clocked (adds dynamic power)."""
+        self._toggling = True
+        self.component.set_dynamic(self.toggle_watts)
+
+    def stop_toggling(self) -> None:
+        """The interface is idle (leakage only)."""
+        self._toggling = False
+        self.component.set_dynamic(0.0)
+
+    @property
+    def usable(self) -> bool:
+        """True when the pad's domain actually delivers power."""
+        return self.component.powered
+
+    def require_usable(self) -> None:
+        if not self.usable:
+            raise IOError_(f"IO pad {self.name} is power-gated")
+
+
+class AONIOBank:
+    """The processor's AON IO pads behind one gateable power boundary.
+
+    ``domain`` should be gated by the on-board FET
+    (:class:`~repro.power.gates.BoardFETGate`) so that opening the gate
+    reproduces the AON-IO-GATE technique.
+    """
+
+    def __init__(self, domain: PowerDomain) -> None:
+        self.domain = domain
+        self._pads: Dict[str, IOPad] = {}
+
+    def add_pad(
+        self,
+        name: str,
+        leakage_watts: float,
+        toggle_watts: float = 0.0,
+        wake_capable: bool = False,
+    ) -> IOPad:
+        if name in self._pads:
+            raise IOError_(f"duplicate AON IO pad {name!r}")
+        pad = IOPad(name, self.domain, leakage_watts, toggle_watts, wake_capable)
+        self._pads[name] = pad
+        return pad
+
+    def pad(self, name: str) -> IOPad:
+        try:
+            return self._pads[name]
+        except KeyError:
+            raise IOError_(f"no AON IO pad named {name!r}") from None
+
+    @property
+    def pads(self) -> List[IOPad]:
+        return list(self._pads.values())
+
+    @property
+    def gated(self) -> bool:
+        return not self.domain.delivering
+
+    def quiesce(self) -> None:
+        """Stop all toggling (pre-gating step of the ODRIPS entry flow)."""
+        for pad in self._pads.values():
+            pad.stop_toggling()
+
+    def total_power_watts(self) -> float:
+        """Nominal demand of the bank (before gate/PD effects)."""
+        return self.domain.nominal_load_watts()

@@ -1,0 +1,116 @@
+"""The power-management link (PML) between processor and chipset.
+
+Sec. 4.1.2: "The PML has two physical master-slave interfaces (clocked
+with the 24 MHz clock).  The processor is the master for the interface
+from the processor to the chipset and the chipset is the master for the
+interface from the chipset to the processor.  Consequently, the PML is a
+*deterministic* channel."
+
+Determinism is the property the timer handoff leans on: a message of a
+given size always takes the same number of 24 MHz cycles, so a fixed
+compensation constant added to a transferred timer value makes the
+transfer lossless in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.clocks.clock import DerivedClock
+from repro.errors import IOError_
+from repro.io.pads import IOPad
+from repro.sim.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class PMLMessage:
+    """One message on the link."""
+
+    kind: str
+    payload: Any = None
+    payload_words: int = 1
+
+
+class PMLChannel:
+    """One direction of the link (single master, deterministic timing)."""
+
+    #: Protocol overhead per message: start, header, CRC, ack (cycles).
+    HEADER_CYCLES = 8
+
+    #: Cycles per 32-bit payload word.
+    CYCLES_PER_WORD = 4
+
+    def __init__(
+        self,
+        name: str,
+        kernel: Kernel,
+        clock: DerivedClock,
+        master_pad: IOPad,
+        slave_pad: IOPad,
+    ) -> None:
+        self.name = name
+        self.kernel = kernel
+        self.clock = clock
+        self.master_pad = master_pad
+        self.slave_pad = slave_pad
+        self._receiver: Optional[Callable[[PMLMessage], None]] = None
+        self.messages_sent = 0
+        self.log: List[PMLMessage] = []
+
+    def set_receiver(self, receiver: Callable[[PMLMessage], None]) -> None:
+        self._receiver = receiver
+
+    def transfer_cycles(self, message: PMLMessage) -> int:
+        """Deterministic cycle count of the transfer (always the same for
+        the same payload size — the compensation constant comes from here)."""
+        return self.HEADER_CYCLES + self.CYCLES_PER_WORD * message.payload_words
+
+    def transfer_latency_ps(self, message: PMLMessage) -> int:
+        return self.transfer_cycles(message) * self.clock.period_ps
+
+    def send(self, message: PMLMessage) -> int:
+        """Transmit; the receiver callback fires after the deterministic
+        latency.  Returns the delivery time in picoseconds.
+
+        Both pads must be powered: a gated PML is exactly why ODRIPS must
+        route wake events through the chipset instead.
+        """
+        self.master_pad.require_usable()
+        self.slave_pad.require_usable()
+        if not self.clock.available:
+            raise IOError_(f"PML {self.name}: 24 MHz clock is off")
+        delivery = self.kernel.now + self.transfer_latency_ps(message)
+        self.messages_sent += 1
+        self.log.append(message)
+
+        def deliver() -> None:
+            if self._receiver is not None:
+                self._receiver(message)
+
+        self.kernel.schedule_at(delivery, deliver, label=f"pml:{self.name}:{message.kind}")
+        return delivery
+
+
+class PMLLink:
+    """The full bidirectional link (two channels, opposite masters)."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        clock: DerivedClock,
+        processor_pad: IOPad,
+        chipset_pad: IOPad,
+    ) -> None:
+        self.to_chipset = PMLChannel(
+            "proc->pch", kernel, clock, master_pad=processor_pad, slave_pad=chipset_pad
+        )
+        self.to_processor = PMLChannel(
+            "pch->proc", kernel, clock, master_pad=chipset_pad, slave_pad=processor_pad
+        )
+
+    def timer_compensation_cycles(self, payload_words: int = 2) -> int:
+        """The fixed constant added to a transferred timer value
+        (Sec. 4.1.2) — the deterministic transfer time in 24 MHz cycles."""
+        message = PMLMessage("timer", payload_words=payload_words)
+        return self.to_chipset.transfer_cycles(message)

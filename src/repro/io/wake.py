@@ -1,0 +1,42 @@
+"""Wake events and their classification.
+
+"The system exits DRIPS and enters the Active state ... upon receiving a
+wake-up event from either an internal timer or an external trigger through
+one of the inputs/outputs" (Sec. 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class WakeEventType(enum.Enum):
+    """Source classification of a wake-up event."""
+
+    TIMER = "timer"            # TSC reached a scheduled target (TNTE)
+    NETWORK = "network"        # packet/notification from the NIC
+    USER_INPUT = "user_input"  # lid, button, touch
+    THERMAL = "thermal"        # embedded-controller thermal report
+    MAINTENANCE = "maintenance"  # OS kernel maintenance timer
+    DEBUG = "debug"            # debug/reset interface
+
+    @property
+    def needs_cores(self) -> bool:
+        """Whether handling requires waking the cores (vs PMU-only)."""
+        return self is not WakeEventType.THERMAL
+
+
+@dataclass(frozen=True)
+class WakeEvent:
+    """A wake-up request observed by the platform."""
+
+    event_type: WakeEventType
+    time_ps: int
+    detail: str = ""
+    #: For TIMER events: the TSC target count that fired.
+    timer_target: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"{self.event_type.value}@{self.time_ps}ps{' ' + self.detail if self.detail else ''}"

@@ -1,0 +1,110 @@
+"""State residency and per-state energy from the simulation trace.
+
+Substitutes for the Intel Performance Counter Monitor the paper uses to
+measure "the percentage of time the processor spends in a given power
+state" (Sec. 7), and provides the per-state energy split behind
+Equation 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import MeasurementError
+from repro.sim.trace import TraceRecorder
+from repro.system.states import POWER_CHANNEL, STATE_CHANNEL
+from repro.units import PICOSECONDS_PER_SECOND
+
+
+def _clipped_intervals(
+    trace: TraceRecorder, channel: str, start_ps: int, end_ps: int
+) -> List[Tuple[int, int, object]]:
+    """Step intervals of ``channel`` clipped to ``[start_ps, end_ps)``."""
+    out = []
+    for lo, hi, value in trace.intervals(channel, end_ps):
+        lo = max(lo, start_ps)
+        hi = min(hi, end_ps)
+        if hi > lo:
+            out.append((lo, hi, value))
+    return out
+
+
+def energy_by_state(
+    trace: TraceRecorder, start_ps: int, end_ps: int
+) -> Dict[str, float]:
+    """Joules consumed in each platform state within the window.
+
+    Merges the piecewise-constant ``platform`` power channel with the
+    ``state`` channel.
+    """
+    if end_ps <= start_ps:
+        raise MeasurementError("empty measurement window")
+    power_steps = _clipped_intervals(trace, POWER_CHANNEL, start_ps, end_ps)
+    state_steps = _clipped_intervals(trace, STATE_CHANNEL, start_ps, end_ps)
+    if not power_steps or not state_steps:
+        raise MeasurementError("trace has no samples inside the window")
+    energies: Dict[str, float] = {}
+    state_index = 0
+    for lo, hi, watts in power_steps:
+        position = lo
+        while position < hi:
+            while (
+                state_index + 1 < len(state_steps)
+                and state_steps[state_index][1] <= position
+            ):
+                state_index += 1
+            s_lo, s_hi, state = state_steps[state_index]
+            segment_end = min(hi, s_hi)
+            if segment_end <= position:
+                segment_end = hi  # state channel exhausted; stay on last value
+            duration_s = (segment_end - position) / PICOSECONDS_PER_SECOND
+            energies[state] = energies.get(state, 0.0) + watts * duration_s
+            position = segment_end
+    return energies
+
+
+@dataclass
+class ResidencyReport:
+    """Residencies, per-state energy and per-state average power."""
+
+    window_ps: int
+    dwell_ps: Dict[str, int] = field(default_factory=dict)
+    energy_j: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def window_s(self) -> float:
+        return self.window_ps / PICOSECONDS_PER_SECOND
+
+    def residency(self, state: str) -> float:
+        """Fraction of the window spent in ``state``."""
+        return self.dwell_ps.get(state, 0) / self.window_ps
+
+    def average_power(self, state: str) -> float:
+        """Average battery-side watts while in ``state``."""
+        dwell = self.dwell_ps.get(state, 0)
+        if dwell == 0:
+            return 0.0
+        return self.energy_j.get(state, 0.0) / (dwell / PICOSECONDS_PER_SECOND)
+
+    def total_average_power(self) -> float:
+        """Average watts over the whole window (Equation 1's left side)."""
+        return sum(self.energy_j.values()) / self.window_s
+
+    def equation1_terms(self) -> Dict[str, float]:
+        """Per-state ``power x residency`` terms of Equation 1, in watts."""
+        return {
+            state: self.average_power(state) * self.residency(state)
+            for state in self.dwell_ps
+        }
+
+
+def residency_report(
+    trace: TraceRecorder, start_ps: int, end_ps: int
+) -> ResidencyReport:
+    """Build a :class:`ResidencyReport` for the window."""
+    report = ResidencyReport(window_ps=end_ps - start_ps)
+    for lo, hi, state in _clipped_intervals(trace, STATE_CHANNEL, start_ps, end_ps):
+        report.dwell_ps[state] = report.dwell_ps.get(state, 0) + (hi - lo)
+    report.energy_j = energy_by_state(trace, start_ps, end_ps)
+    return report

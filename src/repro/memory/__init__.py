@@ -1,0 +1,40 @@
+"""Memory devices and the memory controller.
+
+Implements every storage technology the paper evaluates as a context
+store:
+
+* :class:`SRAMDevice` — on-die save/restore SRAM with process-dependent
+  retention leakage (processor SRAM leaks ~5x more than chipset SRAM,
+  Sec. 3 Observation 3).
+* :class:`DRAMDevice` — DDR3L-style device with self-refresh + CKE
+  (Sec. 2.2), frequency scaling (Sec. 8.2), and a bandwidth/latency model.
+* :class:`PCMDevice` / :class:`EMRAMDevice` — the emerging non-volatile
+  technologies of Sec. 8.3 (no refresh; asymmetric read/write cost;
+  endurance tracking).
+* :class:`MemoryController` — address routing with a protected-range
+  register that redirects accesses through the MEE (Fig. 4).
+"""
+
+from repro.memory.store import SparseMemory
+from repro.memory.sram import SRAMDevice, SRAMState
+from repro.memory.dram import DRAMDevice, DRAMState
+from repro.memory.nvm import EMRAMDevice, NVMDevice, PCMDevice
+from repro.memory.region import MemoryRegion, RangeRegister
+from repro.memory.controller import AccessStats, MemoryController
+from repro.memory.dvfs import MemoryDVFSGovernor
+
+__all__ = [
+    "AccessStats",
+    "DRAMDevice",
+    "DRAMState",
+    "EMRAMDevice",
+    "MemoryController",
+    "MemoryDVFSGovernor",
+    "MemoryRegion",
+    "NVMDevice",
+    "PCMDevice",
+    "RangeRegister",
+    "SRAMDevice",
+    "SRAMState",
+    "SparseMemory",
+]

@@ -1,0 +1,181 @@
+"""DDR3L-style DRAM device with self-refresh and frequency scaling.
+
+DRIPS entry step (4) "plac[es] DRAM into self-refresh mode with the help
+of the CKE signal to avoid data loss" (Sec. 2.2).  In self-refresh the
+device refreshes itself from its internal oscillator; the only thing the
+processor must keep alive is the CKE drive — which is exactly the cost
+that disappears when PCM replaces DRAM (Sec. 8.3).
+
+Frequency scaling (Sec. 8.2) changes both the active power and the
+effective bandwidth, which in turn stretches the context save/restore
+latency.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import MemoryFault
+from repro.memory.store import SparseMemory
+from repro.power.domain import Component
+from repro.units import GIB, PICOSECONDS_PER_SECOND
+
+
+class DRAMState(enum.Enum):
+    """Power state of the DRAM device."""
+
+    ACTIVE = "active"           # clocked, accessible
+    SELF_REFRESH = "self_refresh"  # CKE low, data retained internally
+    OFF = "off"                 # power removed, data lost
+
+
+class DRAMDevice:
+    """A dual-channel DDR3L DIMM model.
+
+    ``transfer_rate_hz`` is the data rate (e.g. 1.6e9 for DDR3L-1600).
+    Effective sequential bandwidth is
+    ``transfer_rate * bus_bytes * channels * bus_efficiency``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bytes: int = 8 * GIB,
+        transfer_rate_hz: float = 1.6e9,
+        channels: int = 2,
+        bus_bytes: int = 8,
+        bus_efficiency: float = 0.7,
+        self_refresh_watts_per_gib: float = 0.0055,
+        active_standby_watts_per_gib: float = 0.055,
+        access_energy_pj_per_byte_at_1600: float = 40.0,
+        base_access_latency_ps: int = 50_000,  # ~50 ns closed-page access
+        power_component: Optional[Component] = None,
+    ) -> None:
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.transfer_rate_hz = transfer_rate_hz
+        self.reference_rate_hz = 1.6e9
+        self.channels = channels
+        self.bus_bytes = bus_bytes
+        self.bus_efficiency = bus_efficiency
+        self.self_refresh_watts_per_gib = self_refresh_watts_per_gib
+        self.active_standby_watts_per_gib = active_standby_watts_per_gib
+        self.access_energy_pj_per_byte_at_1600 = access_energy_pj_per_byte_at_1600
+        self.base_access_latency_ps = base_access_latency_ps
+        self.power_component = power_component
+        self._store = SparseMemory(capacity_bytes)
+        self._state = DRAMState.ACTIVE
+        self.access_energy_joules = 0.0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self._update_power()
+
+    # --- derived quantities ------------------------------------------------
+
+    @property
+    def capacity_gib(self) -> float:
+        return self.capacity_bytes / GIB
+
+    def bandwidth_bytes_per_s(self) -> float:
+        """Effective sequential bandwidth at the current frequency."""
+        return (
+            self.transfer_rate_hz * self.bus_bytes * self.channels * self.bus_efficiency
+        )
+
+    def set_frequency(self, transfer_rate_hz: float) -> None:
+        """Re-train the interface at a new data rate (Sec. 8.2 sweep)."""
+        if transfer_rate_hz <= 0:
+            raise MemoryFault(f"{self.name}: frequency must be positive")
+        if self._state != DRAMState.ACTIVE:
+            raise MemoryFault(f"{self.name}: retrain only in active state")
+        self.transfer_rate_hz = transfer_rate_hz
+        self._update_power()
+
+    def _frequency_scale(self) -> float:
+        return self.transfer_rate_hz / self.reference_rate_hz
+
+    # --- power states --------------------------------------------------------
+
+    @property
+    def state(self) -> DRAMState:
+        return self._state
+
+    def enter_self_refresh(self) -> None:
+        """CKE low: the device refreshes itself (data retained)."""
+        if self._state == DRAMState.OFF:
+            raise MemoryFault(f"{self.name}: device is off")
+        self._state = DRAMState.SELF_REFRESH
+        self._update_power()
+
+    def exit_self_refresh(self) -> None:
+        """CKE high: back to the active/idle state."""
+        if self._state == DRAMState.OFF:
+            raise MemoryFault(f"{self.name}: device is off")
+        self._state = DRAMState.ACTIVE
+        self._update_power()
+
+    def power_off(self) -> None:
+        """Remove power: all data is lost."""
+        self._state = DRAMState.OFF
+        self._store.erase()
+        self._update_power()
+
+    def power_on(self) -> None:
+        """Restore power (content undefined, modeled zero-filled)."""
+        self._state = DRAMState.ACTIVE
+        self._update_power()
+
+    def self_refresh_power_watts(self) -> float:
+        """Self-refresh draw for the full device (frequency independent)."""
+        return self.self_refresh_watts_per_gib * self.capacity_gib
+
+    def active_standby_power_watts(self) -> float:
+        """Idle-active draw; interface power scales with frequency."""
+        scale = 0.4 + 0.6 * self._frequency_scale()
+        return self.active_standby_watts_per_gib * self.capacity_gib * scale
+
+    def _update_power(self) -> None:
+        if self.power_component is None:
+            return
+        if self._state == DRAMState.OFF:
+            self.power_component.set_power(0.0)
+        elif self._state == DRAMState.SELF_REFRESH:
+            self.power_component.set_power(self.self_refresh_power_watts())
+        else:
+            self.power_component.set_power(self.active_standby_power_watts())
+
+    # --- access ----------------------------------------------------------------
+
+    def _check_accessible(self) -> None:
+        if self._state != DRAMState.ACTIVE:
+            raise MemoryFault(f"{self.name}: access in state {self._state.value}")
+
+    def transfer_latency_ps(self, length: int) -> int:
+        """Latency of a sequential ``length``-byte transfer."""
+        if length <= 0:
+            return 0
+        streaming = length / self.bandwidth_bytes_per_s() * PICOSECONDS_PER_SECOND
+        return self.base_access_latency_ps + round(streaming)
+
+    def _access_energy(self, length: int) -> float:
+        # Energy per byte falls slightly at lower frequency (less interface
+        # toggling), dominated by the array energy which is constant.
+        scale = 0.7 + 0.3 * self._frequency_scale()
+        return self.access_energy_pj_per_byte_at_1600 * 1e-12 * length * scale
+
+    def read(self, address: int, length: int) -> tuple:
+        """Read bytes; returns ``(data, latency_ps)``."""
+        self._check_accessible()
+        data = self._store.read(address, length)
+        self.bytes_read += length
+        self.access_energy_joules += self._access_energy(length)
+        return data, self.transfer_latency_ps(length)
+
+    def write(self, address: int, data: bytes) -> int:
+        """Write bytes; returns the transfer latency in picoseconds."""
+        self._check_accessible()
+        self._store.write(address, data)
+        self.bytes_written += len(data)
+        self.access_energy_joules += self._access_energy(len(data))
+        return self.transfer_latency_ps(len(data))

@@ -1,0 +1,158 @@
+"""Dynamic memory frequency scaling (the Sec. 8.2 recommendation).
+
+The paper finds that *statically* under-clocking DRAM helps connected
+standby slightly but "might degrade performance of other workloads", and
+concludes that it would be "more efficient to apply dynamic voltage and
+frequency scaling to main memory, similar to [17 — MemScale]".  This
+module implements that recommendation:
+
+* :class:`MemoryDVFSGovernor` — retrains the DRAM interface when the
+  platform's usage mode changes: a low rate while in connected standby
+  (nothing is bandwidth-bound), the full rate when the user is active.
+* :func:`memory_dvfs_comparison` — the evaluation the paper sketches:
+  static-high vs static-low vs dynamic across a day that mixes standby
+  and interactive use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import PlatformConfig, skylake_config
+from repro.errors import ConfigError
+
+# NOTE: repro.core imports repro.system which imports repro.memory, so the
+# controller/technique types used by memory_dvfs_comparison are imported
+# lazily inside the function to keep the package import graph acyclic.
+
+
+class MemoryDVFSGovernor:
+    """Switches the DRAM data rate with the platform usage mode.
+
+    Retraining is only legal while the device is in its active state, so
+    the governor defers a pending retrain until the platform reports the
+    memory is accessible again.  A retrain costs ``retrain_latency_ps``
+    of memory unavailability (frequency-change DLL re-lock), counted for
+    reporting.
+    """
+
+    def __init__(
+        self,
+        platform,
+        standby_rate_hz: float = 0.8e9,
+        interactive_rate_hz: float = 1.6e9,
+        retrain_latency_ps: int = 5_000_000,  # ~5 us DLL re-lock
+    ) -> None:
+        if standby_rate_hz <= 0 or interactive_rate_hz < standby_rate_hz:
+            raise ConfigError("need interactive rate >= standby rate > 0")
+        self.platform = platform
+        self.standby_rate_hz = standby_rate_hz
+        self.interactive_rate_hz = interactive_rate_hz
+        self.retrain_latency_ps = retrain_latency_ps
+        self.retrain_count = 0
+        self.retrain_time_ps = 0
+        self._mode = "interactive"
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    def enter_standby_mode(self) -> None:
+        """User away: run the memory at the low rate."""
+        self._retrain(self.standby_rate_hz, "standby")
+
+    def enter_interactive_mode(self) -> None:
+        """User back: restore full memory bandwidth."""
+        self._retrain(self.interactive_rate_hz, "interactive")
+
+    def _retrain(self, rate_hz: float, mode: str) -> None:
+        if self._mode == mode:
+            return
+        memory = self.platform.board.memory
+        if not hasattr(memory, "set_frequency"):
+            self._mode = mode  # PCM main memory: nothing to retrain
+            return
+        if memory.state.value != "active":
+            raise ConfigError("retrain only while the memory is accessible")
+        memory.set_frequency(rate_hz)
+        self._mode = mode
+        self.retrain_count += 1
+        self.retrain_time_ps += self.retrain_latency_ps
+
+
+@dataclass(frozen=True)
+class DVFSPolicyResult:
+    """One policy's outcome over the mixed day."""
+
+    policy: str
+    day_energy_wh: float
+    standby_power_mw: float
+    interactive_slowdown: float
+
+
+#: How much an interactive (memory-sensitive) workload stretches when the
+#: DRAM rate drops: runtime scale = 1 + sensitivity * (full/rate - 1).
+INTERACTIVE_MEMORY_SENSITIVITY = 0.35
+
+#: Interactive (screen-on) platform power at full DRAM rate, watts.
+INTERACTIVE_POWER_W = 8.0
+
+
+def _interactive_energy_wh(hours: float, rate_hz: float, full_rate_hz: float) -> float:
+    """Energy of the interactive hours at a given DRAM rate.
+
+    Lower rate saves DRAM interface power but stretches runtime; for a
+    memory-sensitive mix the stretch dominates — the paper's
+    "might degrade performance ... and therefore even result in an
+    increase in the overall platform energy consumption" (Sec. 8.2).
+    """
+    slowdown = 1.0 + INTERACTIVE_MEMORY_SENSITIVITY * (full_rate_hz / rate_hz - 1.0)
+    dram_scale = 0.4 + 0.6 * (rate_hz / full_rate_hz)
+    power = INTERACTIVE_POWER_W - 0.6 * (1.0 - dram_scale)
+    return power * hours * slowdown
+
+
+def memory_dvfs_comparison(
+    config: Optional[PlatformConfig] = None,
+    standby_hours: float = 21.0,
+    interactive_hours: float = 3.0,
+    low_rate_hz: float = 0.8e9,
+    cycles: int = 1,
+) -> List[DVFSPolicyResult]:
+    """Static-high vs static-low vs dynamic DVFS over a mixed day."""
+    from repro.core.odrips import ODRIPSController
+    from repro.core.techniques import TechniqueSet
+
+    cfg = config if config is not None else skylake_config()
+    full_rate = cfg.dram_rate_hz
+
+    def standby_power(rate_hz: float) -> float:
+        controller = ODRIPSController(TechniqueSet.odrips(), config=cfg)
+        return controller.measure(cycles=cycles, dram_rate_hz=rate_hz).average_power_w
+
+    standby_high = standby_power(full_rate)
+    standby_low = standby_power(low_rate_hz)
+
+    results = []
+    for policy, standby_w, interactive_rate in [
+        ("static full rate", standby_high, full_rate),
+        ("static low rate", standby_low, low_rate_hz),
+        ("dynamic DVFS (recommended)", standby_low, full_rate),
+    ]:
+        energy_wh = (
+            standby_w * standby_hours
+            + _interactive_energy_wh(interactive_hours, interactive_rate, full_rate)
+        )
+        slowdown = 1.0 + INTERACTIVE_MEMORY_SENSITIVITY * (
+            full_rate / interactive_rate - 1.0
+        )
+        results.append(
+            DVFSPolicyResult(
+                policy=policy,
+                day_energy_wh=energy_wh,
+                standby_power_mw=standby_w * 1e3,
+                interactive_slowdown=slowdown,
+            )
+        )
+    return results

@@ -1,0 +1,98 @@
+"""Memory regions and the protected-range register.
+
+Fig. 4: "a protected memory range register (Context/SGX RR) inside the
+memory-controller ... determines if the memory access is to a protected
+memory region or to the rest of the memory.  An access to a protected
+memory region is redirected to the memory encryption-engine (MEE)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryFault
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A half-open byte range ``[base, base + size)``."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise MemoryFault(f"invalid region base={self.base} size={self.size}")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        """True when the whole access lies inside the region."""
+        return self.base <= address and address + length <= self.end
+
+    def overlaps(self, address: int, length: int) -> bool:
+        """True when any byte of the access lies inside the region."""
+        return address < self.end and address + length > self.base
+
+    def offset_of(self, address: int) -> int:
+        """Offset of ``address`` within the region."""
+        if not self.contains(address):
+            raise MemoryFault(f"address {address} outside region [{self.base}, {self.end})")
+        return address - self.base
+
+
+class RangeRegister:
+    """A lockable protected-range register (the Context/SGX RR).
+
+    Once locked, the range cannot be reprogrammed until a platform reset —
+    matching how SGX range registers behave so that untrusted software
+    cannot move the protected window from under the MEE.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._region: MemoryRegion | None = None
+        self._locked = False
+
+    @property
+    def region(self) -> MemoryRegion | None:
+        return self._region
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def program(self, region: MemoryRegion) -> None:
+        """Set the protected range.  Illegal after :meth:`lock`."""
+        if self._locked:
+            raise MemoryFault(f"{self.name}: locked until reset")
+        self._region = region
+
+    def lock(self) -> None:
+        """Freeze the register until :meth:`reset`."""
+        if self._region is None:
+            raise MemoryFault(f"{self.name}: nothing programmed")
+        self._locked = True
+
+    def reset(self) -> None:
+        """Platform reset: clear and unlock."""
+        self._region = None
+        self._locked = False
+
+    def matches(self, address: int, length: int) -> bool:
+        """True when the access falls entirely inside the protected range."""
+        return self._region is not None and self._region.contains(address, length)
+
+    def straddles(self, address: int, length: int) -> bool:
+        """True when the access crosses the protection boundary.
+
+        Straddling accesses are illegal: they would let an attacker read
+        protected bytes through an unprotected request.
+        """
+        if self._region is None:
+            return False
+        return self._region.overlaps(address, length) and not self._region.contains(
+            address, length
+        )

@@ -1,0 +1,91 @@
+"""Power gates: embedded (on-die) gates and on-board FETs.
+
+Sec. 5.1 of the paper weighs two options for gating the processor's
+always-on IOs: an embedded power gate (EPG) in the silicon die, or an
+external FET on the board.  The paper chooses the FET because it leaks
+less (measured leakage below 0.3 % of the gated load), needs no extra
+processor pins, and needs no processor design effort.  Both options are
+modeled here so the ablation bench can reproduce that comparison.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PowerError
+
+
+class PowerGate:
+    """Base power gate: passes load when closed, leaks a fraction when open.
+
+    "Closed" means conducting (the load is powered); "open" means gated
+    (the load is cut off and only gate leakage remains).
+    """
+
+    #: Leakage of the open gate as a fraction of the load it would pass.
+    leakage_fraction = 0.0
+
+    #: Extra on-resistance loss while conducting, as a fraction of the load.
+    conduction_loss_fraction = 0.0
+
+    def __init__(self, name: str, closed: bool = True) -> None:
+        self.name = name
+        self._closed = closed
+        self.switch_count = 0
+
+    @property
+    def closed(self) -> bool:
+        """True when the gate conducts (load powered)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Conduct: power the load."""
+        if not self._closed:
+            self._closed = True
+            self.switch_count += 1
+
+    def open(self) -> None:
+        """Gate: cut the load off."""
+        if self._closed:
+            self._closed = False
+            self.switch_count += 1
+
+    def delivered_power(self, load_watts: float) -> float:
+        """Power drawn from the supply for a nominal ``load_watts`` demand."""
+        if load_watts < 0:
+            raise PowerError(f"gate {self.name}: negative load {load_watts}")
+        if self._closed:
+            return load_watts * (1.0 + self.conduction_loss_fraction)
+        return load_watts * self.leakage_fraction
+
+
+class EmbeddedPowerGate(PowerGate):
+    """On-die embedded power gate (EPG).
+
+    Area-efficient and board-free, but built in the processor's
+    performance-optimized process, so it leaks more when open and has a
+    non-trivial on-resistance.  Leakage numbers follow the qualitative
+    comparison of Sec. 5.1 (EPG leaks more than the FET).
+    """
+
+    leakage_fraction = 0.02
+    conduction_loss_fraction = 0.005
+
+
+class BoardFETGate(PowerGate):
+    """Discrete on-board FET gating a power rail.
+
+    The paper measures its off-state leakage at "less than 0.3 % of the
+    gated load's power" (Sec. 5.3); we use 0.25 %.  Needs a GPIO from the
+    chipset to drive the gate terminal, which the chipset model allocates
+    from its spare GPIOs.
+    """
+
+    leakage_fraction = 0.0025
+    conduction_loss_fraction = 0.001
+
+    def __init__(self, name: str, closed: bool = True) -> None:
+        super().__init__(name, closed)
+        self.control_gpio: int | None = None
+
+    def bind_gpio(self, gpio_index: int) -> None:
+        """Record which chipset GPIO drives this FET's gate."""
+        self.control_gpio = gpio_index

@@ -1,0 +1,25 @@
+"""Processor-side models: compute domains, LLC, system agent, PMU,
+save/restore SRAMs and the Boot SRAM/FSM.
+
+The processor die is where all three of the paper's inefficiencies live:
+the high-speed wake-up timer in the PMU, the always-on IO bank, and the
+high-leakage save/restore SRAMs (Fig. 1, items 4, 5, 7, 8).
+"""
+
+from repro.processor.cstates import CState
+from repro.processor.core import ComputeDomain
+from repro.processor.llc import LastLevelCache
+from repro.processor.sr_sram import SaveRestoreSRAMs
+from repro.processor.boot import BootSRAM
+from repro.processor.system_agent import SystemAgent
+from repro.processor.pmu import ProcessorPMU
+
+__all__ = [
+    "BootSRAM",
+    "CState",
+    "ComputeDomain",
+    "LastLevelCache",
+    "ProcessorPMU",
+    "SaveRestoreSRAMs",
+    "SystemAgent",
+]

@@ -1,0 +1,124 @@
+"""The compute domain: cores and graphics.
+
+Models what the figures need: C0 power from the
+:class:`~repro.config.ActivePowerModel` (the Fig. 6(b) frequency lever),
+task execution time (fixed cycles / frequency — the race-to-sleep
+mechanism), and context save/restore round trips.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.config import ActivePowerModel
+from repro.errors import FlowError
+from repro.power.domain import Component, PowerDomain
+from repro.units import PICOSECONDS_PER_SECOND
+
+
+def synthesize_context(label: str, length: int, generation: int = 0) -> bytes:
+    """Deterministic pseudo-random context bytes (CSRs, patches, fuses).
+
+    Deterministic so tests can verify the save/restore round trip
+    bit-for-bit; parameterized by ``generation`` so successive DRIPS
+    cycles store *different* context (catching stale-restore bugs).
+    """
+    out = bytearray()
+    counter = 0
+    seed = f"{label}:{generation}".encode("utf-8")
+    while len(out) < length:
+        out.extend(hashlib.sha256(seed + counter.to_bytes(8, "big")).digest())
+        counter += 1
+    return bytes(out[:length])
+
+
+class ComputeDomain:
+    """Cores + graphics behind the compute voltage regulators."""
+
+    def __init__(
+        self,
+        name: str,
+        domain: PowerDomain,
+        active_model: ActivePowerModel,
+        frequency_ghz: float,
+        context_bytes: int,
+    ) -> None:
+        self.name = name
+        self.active_model = active_model
+        self.frequency_ghz = frequency_ghz
+        self.context_bytes = context_bytes
+        self.component: Component = domain.new_component(f"{name}.compute")
+        self.domain = domain
+        self._active = False
+        self._context: Optional[bytes] = None
+        self._generation = 0
+        self.tasks_run = 0
+
+    # --- frequency -----------------------------------------------------------
+
+    def set_frequency(self, frequency_ghz: float) -> None:
+        """Change the core clock (the Fig. 6(b) sweep lever)."""
+        if frequency_ghz <= 0:
+            raise FlowError(f"{self.name}: frequency must be positive")
+        self.frequency_ghz = frequency_ghz
+        if self._active:
+            self._apply_active_power()
+
+    @property
+    def voltage(self) -> float:
+        return self.active_model.voltage(self.frequency_ghz)
+
+    # --- activity ---------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def start(self) -> None:
+        """Enter C0 (domain must be powered)."""
+        if not self.domain.delivering:
+            raise FlowError(f"{self.name}: compute rail is off")
+        self._active = True
+        self._apply_active_power()
+
+    def stop(self) -> None:
+        """Leave C0 (clock-gate; power drops to near zero)."""
+        self._active = False
+        self.component.set_power(0.0)
+
+    def _apply_active_power(self) -> None:
+        self.component.set_dynamic(self.active_model.core_dynamic_watts(self.frequency_ghz))
+
+    def task_duration_ps(self, cycles: int) -> int:
+        """Execution time of a ``cycles``-long task at the current clock."""
+        if cycles < 0:
+            raise FlowError("cycles cannot be negative")
+        seconds = cycles / (self.frequency_ghz * 1e9)
+        return round(seconds * PICOSECONDS_PER_SECOND)
+
+    def run_task(self, cycles: int) -> int:
+        """Account one task; returns its duration in picoseconds."""
+        if not self._active:
+            raise FlowError(f"{self.name}: cannot run a task while idle")
+        self.tasks_run += 1
+        return self.task_duration_ps(cycles)
+
+    # --- context ---------------------------------------------------------------------
+
+    def capture_context(self) -> bytes:
+        """Produce the context blob to save before power-gating."""
+        self._generation += 1
+        self._context = synthesize_context(self.name, self.context_bytes, self._generation)
+        return self._context
+
+    def verify_restored(self, blob: bytes) -> None:
+        """Check a restored blob against what was captured."""
+        if self._context is None:
+            raise FlowError(f"{self.name}: no context was captured")
+        if blob != self._context:
+            raise FlowError(f"{self.name}: restored context does not match saved context")
+
+    @property
+    def expected_context(self) -> Optional[bytes]:
+        return self._context

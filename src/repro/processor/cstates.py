@@ -1,0 +1,55 @@
+"""Processor idle power states (C-states).
+
+"C-states are numbered from 0 to n.  C0 is referred to as the Active
+state ... the larger the i, the deeper the power state" (Sec. 1).  C10 is
+the DRIPS of the Skylake platform (the Haswell predecessor's C10 exit
+latency was ~3 ms, Sec. 3).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CState(enum.IntEnum):
+    """Package C-states of the modeled platform (a representative ladder)."""
+
+    C0 = 0    # active
+    C2 = 2    # clock-gated cores, caches live
+    C6 = 6    # cores power-gated, context in S/R SRAM, LLC live
+    C8 = 8    # + LLC flushed and off, compute VRs off
+    C10 = 10  # DRIPS: everything off except the AON set (Fig. 1(a))
+
+    @property
+    def is_active(self) -> bool:
+        return self is CState.C0
+
+    @property
+    def is_drips(self) -> bool:
+        return self is CState.C10
+
+    @property
+    def deeper_than(self):
+        """Comparator helper: ``CState.C8.deeper_than(CState.C6)``."""
+        def compare(other: "CState") -> bool:
+            return int(self) > int(other)
+        return compare
+
+
+#: Representative residency-power ladder used by the PMU's state selection
+#: (battery-side watts while resident, display off).  C0 power comes from
+#: the ActivePowerModel; these cover the intermediate states.
+CSTATE_POWER_WATTS = {
+    CState.C2: 0.80,
+    CState.C6: 0.30,
+    CState.C8: 0.12,
+}
+
+#: Exit latencies the PMU weighs against LTR (picoseconds).
+CSTATE_EXIT_LATENCY_PS = {
+    CState.C0: 0,
+    CState.C2: 5_000_000,        # 5 us
+    CState.C6: 50_000_000,       # 50 us
+    CState.C8: 120_000_000,      # 120 us
+    CState.C10: 300_000_000,     # 300 us (DRIPS exit, Sec. 7)
+}

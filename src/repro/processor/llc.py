@@ -1,0 +1,76 @@
+"""The last-level cache and its flush engine.
+
+DRIPS entry step (1) is "flushing the last level cache (LLC) into DRAM"
+(Sec. 2.2).  The flush latency depends on how much of the cache is dirty
+and on the effective DRAM write bandwidth — which is why lowering the
+DRAM frequency (Fig. 6(c)) stretches the entry flow.
+
+The context-flushing FSMs of Sec. 6.2 reuse "a mechanism similar to the
+one that is already implemented ... for flushing the LLC into DRAM";
+this class is that mechanism.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FlowError
+from repro.units import PICOSECONDS_PER_SECOND
+
+
+class LastLevelCache:
+    """A capacity/dirtiness model of the L3 cache."""
+
+    def __init__(self, capacity_bytes: int, typical_dirty_fraction: float = 0.25) -> None:
+        if capacity_bytes <= 0:
+            raise FlowError("LLC capacity must be positive")
+        if not 0 <= typical_dirty_fraction <= 1:
+            raise FlowError("dirty fraction must be within [0, 1]")
+        self.capacity_bytes = capacity_bytes
+        self.typical_dirty_fraction = typical_dirty_fraction
+        self._dirty_bytes = 0
+        self._powered = True
+        self.flush_count = 0
+
+    @property
+    def powered(self) -> bool:
+        return self._powered
+
+    @property
+    def dirty_bytes(self) -> int:
+        return self._dirty_bytes
+
+    def touch(self, dirty_bytes: int) -> None:
+        """Record write activity (accumulates dirty lines, capped)."""
+        if dirty_bytes < 0:
+            raise FlowError("dirty bytes cannot be negative")
+        self._dirty_bytes = min(self.capacity_bytes, self._dirty_bytes + dirty_bytes)
+
+    def mark_typical_dirty(self) -> None:
+        """Assume the steady-state dirtiness of an idle-ish system."""
+        self._dirty_bytes = round(self.capacity_bytes * self.typical_dirty_fraction)
+
+    def flush_latency_ps(self, dram_bandwidth_bytes_per_s: float) -> int:
+        """Time to write all dirty lines back at the given bandwidth."""
+        if dram_bandwidth_bytes_per_s <= 0:
+            raise FlowError("bandwidth must be positive")
+        seconds = self._dirty_bytes / dram_bandwidth_bytes_per_s
+        return round(seconds * PICOSECONDS_PER_SECOND)
+
+    def flush(self) -> int:
+        """Flush: returns the number of bytes written back."""
+        if not self._powered:
+            raise FlowError("cannot flush a powered-off LLC")
+        written = self._dirty_bytes
+        self._dirty_bytes = 0
+        self.flush_count += 1
+        return written
+
+    def power_off(self) -> None:
+        """Turn the array off (legal only when clean)."""
+        if self._dirty_bytes:
+            raise FlowError(
+                f"LLC still has {self._dirty_bytes} dirty bytes; flush before power-off"
+            )
+        self._powered = False
+
+    def power_on(self) -> None:
+        self._powered = True

@@ -1,0 +1,103 @@
+"""The processor's save/restore SRAMs (items 7 and 8 of Fig. 1(a)).
+
+Two arrays: one in the system agent for SA context, one near the LLC for
+cores + graphics context.  In baseline DRIPS they hold the context at
+retention voltage and burn the 9 % slice of Fig. 1(b); with CTX-SGX-DRAM
+they are powered off entirely once the context has moved to the protected
+DRAM region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import ContextInventory
+from repro.errors import MemoryFault
+from repro.memory.sram import SRAMDevice, SRAMState
+from repro.power.domain import PowerDomain
+
+
+class SaveRestoreSRAMs:
+    """The SA and cores/GFX S/R SRAM pair with a shared retention budget.
+
+    ``retention_budget_watts`` is the battery-side power of both arrays
+    at retention voltage (the 9 % slice); it is split between the arrays
+    proportionally to capacity, which matches a uniform per-byte leakage.
+    """
+
+    def __init__(
+        self,
+        domain: PowerDomain,
+        inventory: ContextInventory,
+        retention_budget_watts: float,
+    ) -> None:
+        self.inventory = inventory
+        total_bytes = inventory.total_bytes
+        leak_per_byte = retention_budget_watts / total_bytes
+        self.sa_sram = SRAMDevice(
+            "sr_sram:sa",
+            capacity_bytes=inventory.system_agent_bytes,
+            leakage_watts_per_byte=leak_per_byte,
+            power_component=domain.new_component("proc.sr_sram.sa"),
+        )
+        self.compute_sram = SRAMDevice(
+            "sr_sram:cores_gfx",
+            capacity_bytes=inventory.cores_bytes + inventory.graphics_bytes,
+            leakage_watts_per_byte=leak_per_byte,
+            power_component=domain.new_component("proc.sr_sram.cores_gfx"),
+        )
+
+    # --- context operations ----------------------------------------------------
+
+    def save_sa_context(self, blob: bytes) -> None:
+        """Store the system-agent context (arrays must be operational)."""
+        if len(blob) > self.sa_sram.capacity_bytes:
+            raise MemoryFault("SA context exceeds SA S/R SRAM capacity")
+        self.sa_sram.write(0, blob)
+
+    def load_sa_context(self, length: int) -> bytes:
+        return self.sa_sram.read(0, length)
+
+    def save_compute_context(self, blob: bytes) -> None:
+        """Store the cores + graphics context."""
+        if len(blob) > self.compute_sram.capacity_bytes:
+            raise MemoryFault("compute context exceeds cores/GFX S/R SRAM capacity")
+        self.compute_sram.write(0, blob)
+
+    def load_compute_context(self, length: int) -> bytes:
+        return self.compute_sram.read(0, length)
+
+    # --- power states --------------------------------------------------------------
+
+    def enter_retention(self) -> None:
+        """Drop both arrays to retention voltage (baseline DRIPS)."""
+        self.sa_sram.enter_retention()
+        self.compute_sram.enter_retention()
+
+    def exit_retention(self) -> None:
+        self.sa_sram.exit_retention()
+        self.compute_sram.exit_retention()
+
+    def power_off(self) -> None:
+        """Turn both arrays off (CTX-SGX-DRAM: context lives in DRAM)."""
+        self.sa_sram.power_off()
+        self.compute_sram.power_off()
+
+    def power_on(self) -> None:
+        self.sa_sram.power_on()
+        self.compute_sram.power_on()
+
+    @property
+    def retention_power_watts(self) -> float:
+        """Combined retention draw of both arrays."""
+        return (
+            self.sa_sram.retention_power_watts()
+            + self.compute_sram.retention_power_watts()
+        )
+
+    @property
+    def states(self) -> Dict[str, SRAMState]:
+        return {
+            "sa": self.sa_sram.state,
+            "cores_gfx": self.compute_sram.state,
+        }

@@ -1,0 +1,42 @@
+"""Functional model of an SGX-style memory encryption engine (MEE).
+
+Sec. 6 stores the processor context in DRAM under SGX protection: the MEE
+"encrypts the data for writes (or decrypts for reads) and carries out the
+desired authentication", where "the authentication process involves
+multiple accesses to the authentication tree metadata inside the DRAM"
+mitigated by an internal "MEE cache" (Gueron's MEE, cited as [28]).
+
+This package implements that functionally:
+
+* :mod:`repro.sgx.crypto` — counter-mode encryption + MAC built on
+  HMAC-SHA256 (stdlib only; a structural stand-in for AES-CTR + a Carter-
+  Wegman MAC with the same interface and properties we need: determinism,
+  key separation, tamper sensitivity).
+* :class:`MEECache` — the on-chip metadata cache; a hit terminates the
+  tree walk because on-chip copies are trusted.
+* :class:`IntegrityTree` — an 8-ary version/counter tree with per-block
+  MACs; the root counter lives on-chip, everything else really lives in
+  the DRAM model so tampering tests can flip bits and watch verification
+  fail.
+* :class:`MemoryEncryptionEngine` — the read/write pipeline with latency
+  and DRAM-traffic accounting.
+
+This is defensive modeling: the attacks exercised in tests are detection
+tests (tamper → :class:`~repro.errors.SecurityError`).
+"""
+
+from repro.sgx.crypto import CtrCipher, MacKey, derive_key
+from repro.sgx.cache import MEECache
+from repro.sgx.integrity_tree import IntegrityTree, TreeGeometry
+from repro.sgx.mee import MEEStats, MemoryEncryptionEngine
+
+__all__ = [
+    "CtrCipher",
+    "IntegrityTree",
+    "MacKey",
+    "MEECache",
+    "MEEStats",
+    "MemoryEncryptionEngine",
+    "TreeGeometry",
+    "derive_key",
+]

@@ -1,0 +1,326 @@
+"""Counter-based integrity tree over the protected region.
+
+An 8-ary tree in the style of SGX's MEE (Gueron [28]):
+
+* every 64-byte data block has a 64-bit **version counter** and a MAC that
+  binds ``(block address, version, ciphertext)``;
+* level-1 nodes hold a counter and a MAC over their 8 children's version
+  counters; higher levels repeat the construction over the counters below;
+* the single top-level counter is mirrored **on-chip** — that mirror is
+  the root of trust that defeats replay of a wholesale DRAM snapshot.
+
+All metadata except the on-chip root really lives in the DRAM model, so a
+test can flip any DRAM byte and watch verification fail.  Every metadata
+access is charged to the backing device (latency + energy), which is what
+makes the MEE-cache ablation measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import SecurityError
+from repro.sgx.cache import MEECache
+from repro.sgx.crypto import MacKey, pack_counter, unpack_counter
+
+BLOCK_SIZE = 64
+ARITY = 8
+COUNTER_BYTES = 8
+MAC_BYTES = 8
+
+
+@dataclass(frozen=True)
+class TreeGeometry:
+    """Address layout of data + metadata inside the protected region.
+
+    Layout (all offsets relative to the region base)::
+
+        [ data blocks | leaf versions | leaf MACs | per-level counters+MACs ]
+    """
+
+    region_base: int
+    data_blocks: int
+    level_counts: Tuple[int, ...]
+
+    @classmethod
+    def for_data_size(cls, region_base: int, data_size: int) -> "TreeGeometry":
+        """Compute geometry for ``data_size`` bytes of protected data."""
+        if data_size <= 0:
+            raise SecurityError("protected data size must be positive")
+        blocks = -(-data_size // BLOCK_SIZE)
+        counts: List[int] = []
+        nodes = -(-blocks // ARITY)
+        while True:
+            counts.append(nodes)
+            if nodes == 1:
+                break
+            nodes = -(-nodes // ARITY)
+        return cls(region_base=region_base, data_blocks=blocks, level_counts=tuple(counts))
+
+    @property
+    def levels(self) -> int:
+        return len(self.level_counts)
+
+    # --- offsets -------------------------------------------------------------
+
+    @property
+    def data_offset(self) -> int:
+        return self.region_base
+
+    @property
+    def versions_offset(self) -> int:
+        return self.region_base + self.data_blocks * BLOCK_SIZE
+
+    @property
+    def leaf_macs_offset(self) -> int:
+        return self.versions_offset + self.data_blocks * COUNTER_BYTES
+
+    def level_offset(self, level: int) -> int:
+        """Offset of level ``level`` (1-based) counter+MAC records."""
+        if not 1 <= level <= self.levels:
+            raise SecurityError(f"level {level} out of range 1..{self.levels}")
+        offset = self.leaf_macs_offset + self.data_blocks * MAC_BYTES
+        for lower in range(1, level):
+            offset += self.level_counts[lower - 1] * (COUNTER_BYTES + MAC_BYTES)
+        return offset
+
+    @property
+    def total_size(self) -> int:
+        """Bytes of region consumed by data plus all metadata."""
+        metadata = self.data_blocks * (COUNTER_BYTES + MAC_BYTES)
+        metadata += sum(count * (COUNTER_BYTES + MAC_BYTES) for count in self.level_counts)
+        return self.data_blocks * BLOCK_SIZE + metadata
+
+    def block_address(self, block: int) -> int:
+        self._check_block(block)
+        return self.data_offset + block * BLOCK_SIZE
+
+    def version_address(self, block: int) -> int:
+        self._check_block(block)
+        return self.versions_offset + block * COUNTER_BYTES
+
+    def leaf_mac_address(self, block: int) -> int:
+        self._check_block(block)
+        return self.leaf_macs_offset + block * MAC_BYTES
+
+    def node_address(self, level: int, index: int) -> int:
+        if not 0 <= index < self.level_counts[level - 1]:
+            raise SecurityError(f"node index {index} out of range at level {level}")
+        return self.level_offset(level) + index * (COUNTER_BYTES + MAC_BYTES)
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.data_blocks:
+            raise SecurityError(f"block {block} out of range 0..{self.data_blocks - 1}")
+
+
+class IntegrityTree:
+    """Tree walks (verify) and updates (write) with access accounting.
+
+    ``device`` must expose ``read(addr, n) -> (bytes, latency_ps)`` and
+    ``write(addr, data) -> latency_ps`` (both DRAM and NVM devices do).
+    """
+
+    def __init__(
+        self,
+        geometry: TreeGeometry,
+        device,
+        mac_key: MacKey,
+        cache: Optional[MEECache] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.device = device
+        self.mac_key = mac_key
+        self.cache = cache
+        self.root_counter = 0  # the on-chip trusted mirror
+        self.metadata_accesses = 0
+        self.metadata_latency_ps = 0
+
+    # --- raw metadata IO -------------------------------------------------------
+
+    def _read(self, address: int, length: int) -> bytes:
+        data, latency = self.device.read(address, length)
+        self.metadata_accesses += 1
+        self.metadata_latency_ps += latency
+        return data
+
+    def _write(self, address: int, data: bytes) -> None:
+        latency = self.device.write(address, data)
+        self.metadata_accesses += 1
+        self.metadata_latency_ps += latency
+
+    # --- counters -----------------------------------------------------------------
+
+    def read_version(self, block: int) -> int:
+        """Leaf version counter of ``block`` (cache-aware, unverified)."""
+        if self.cache is not None:
+            cached = self.cache.lookup((0, block))
+            if cached is not None:
+                return cached
+        value = unpack_counter(self._read(self.geometry.version_address(block), COUNTER_BYTES))
+        return value
+
+    def _children_of(self, level: int, index: int) -> bytes:
+        """Concatenated counters of the children of node (level, index)."""
+        first = index * ARITY
+        if level == 1:
+            # children are leaf versions
+            last = min(first + ARITY, self.geometry.data_blocks)
+            raw = self._read(
+                self.geometry.version_address(first), (last - first) * COUNTER_BYTES
+            )
+        else:
+            last = min(first + ARITY, self.geometry.level_counts[level - 2])
+            parts = []
+            for child in range(first, last):
+                record = self._read(
+                    self.geometry.node_address(level - 1, child), COUNTER_BYTES
+                )
+                parts.append(record)
+            raw = b"".join(parts)
+        # pad missing children with zero counters so the MAC input width is fixed
+        missing = ARITY - (last - first)
+        return raw + pack_counter(0) * missing
+
+    def _node_mac_input(self, level: int, index: int, counter: int, children: bytes) -> tuple:
+        label = f"node:{level}:{index}".encode("ascii")
+        return (label, pack_counter(counter), children)
+
+    # --- verification walk ------------------------------------------------------------
+
+    def verify_block(self, block: int, ciphertext: bytes) -> int:
+        """Verify ``ciphertext`` of ``block``; return its trusted version.
+
+        Walks the tree from the leaf upward, stopping early at a cache hit
+        (cached counters are trusted).  Raises
+        :class:`~repro.errors.SecurityError` on any mismatch.
+        """
+        geometry = self.geometry
+        version_cached = None
+        if self.cache is not None:
+            version_cached = self.cache.lookup((0, block))
+        version = (
+            version_cached
+            if version_cached is not None
+            else unpack_counter(self._read(geometry.version_address(block), COUNTER_BYTES))
+        )
+        stored_mac = self._read(geometry.leaf_mac_address(block), MAC_BYTES)
+        address = geometry.block_address(block)
+        if not self.mac_key.verify(
+            stored_mac, b"data", pack_counter(address), pack_counter(version), ciphertext
+        ):
+            raise SecurityError(f"data MAC mismatch on block {block}")
+        if version_cached is not None:
+            return version  # the version itself was trusted; done
+        self._verify_counters_upward(block, version)
+        if self.cache is not None:
+            self.cache.insert((0, block), version)
+        return version
+
+    def _verify_counters_upward(self, block: int, leaf_version: int) -> None:
+        geometry = self.geometry
+        child_index = block
+        for level in range(1, geometry.levels + 1):
+            index = child_index // ARITY
+            cached = self.cache.lookup((level, index)) if self.cache is not None else None
+            if cached is not None:
+                counter = cached
+                trusted = True
+            else:
+                counter = unpack_counter(
+                    self._read(geometry.node_address(level, index), COUNTER_BYTES)
+                )
+                trusted = False
+            children = self._children_of(level, index)
+            stored_mac = self._read(
+                geometry.node_address(level, index) + COUNTER_BYTES, MAC_BYTES
+            )
+            if not self.mac_key.verify(
+                stored_mac, *self._node_mac_input(level, index, counter, children)
+            ):
+                raise SecurityError(f"tree MAC mismatch at level {level} node {index}")
+            if level == 1:
+                # confirm the leaf version we used is the one under this MAC
+                offset = (block % ARITY) * COUNTER_BYTES
+                covered = unpack_counter(children[offset : offset + COUNTER_BYTES])
+                if covered != leaf_version:
+                    raise SecurityError(f"leaf version replay on block {block}")
+            if trusted:
+                return  # cached counters are inside the security perimeter
+            if self.cache is not None:
+                self.cache.insert((level, index), counter)
+            if level == geometry.levels:
+                if counter != self.root_counter:
+                    raise SecurityError(
+                        f"root counter mismatch: DRAM={counter} on-chip={self.root_counter}"
+                    )
+                return
+            child_index = index
+
+    # --- update walk -----------------------------------------------------------------------
+
+    def update_block(self, block: int, new_version: int, ciphertext: bytes) -> None:
+        """Install a new version + MAC for ``block`` and bump the tree.
+
+        The caller has already written the ciphertext to the data area;
+        this routine writes the leaf metadata and re-MACs every node on
+        the path to the root, bumping each counter (and the on-chip root).
+        """
+        geometry = self.geometry
+        self._write(geometry.version_address(block), pack_counter(new_version))
+        address = geometry.block_address(block)
+        leaf_mac = self.mac_key.tag(
+            b"data", pack_counter(address), pack_counter(new_version), ciphertext
+        )
+        self._write(geometry.leaf_mac_address(block), leaf_mac)
+        if self.cache is not None:
+            self.cache.insert((0, block), new_version)
+
+        child_index = block
+        for level in range(1, geometry.levels + 1):
+            index = child_index // ARITY
+            node_address = geometry.node_address(level, index)
+            counter = unpack_counter(self._read(node_address, COUNTER_BYTES)) + 1
+            self._write(node_address, pack_counter(counter))
+            children = self._children_of(level, index)
+            mac = self.mac_key.tag(*self._node_mac_input(level, index, counter, children))
+            self._write(node_address + COUNTER_BYTES, mac)
+            if self.cache is not None:
+                self.cache.insert((level, index), counter)
+            child_index = index
+        self.root_counter += 1
+
+    # --- initialization ------------------------------------------------------------------------
+
+    def initialize(self, block_ciphertext=None) -> None:
+        """Write a consistent version-0 metadata state (region setup).
+
+        Every leaf version is 0 with a valid MAC over the block's initial
+        ciphertext, every node counter is 0 with a valid MAC over its
+        children — so the very first verified read of an untouched block
+        succeeds.  ``block_ciphertext(block) -> bytes`` supplies the
+        initial ciphertext of each block (the MEE passes encrypted
+        zeros); by default the raw zero block is assumed.
+        """
+        geometry = self.geometry
+        zero_block = bytes(BLOCK_SIZE)
+        for block in range(geometry.data_blocks):
+            self._write(geometry.version_address(block), pack_counter(0))
+            address = geometry.block_address(block)
+            ciphertext = (
+                block_ciphertext(block) if block_ciphertext is not None else zero_block
+            )
+            mac = self.mac_key.tag(
+                b"data", pack_counter(address), pack_counter(0), ciphertext
+            )
+            self._write(geometry.leaf_mac_address(block), mac)
+        for level in range(1, geometry.levels + 1):
+            for index in range(geometry.level_counts[level - 1]):
+                node_address = geometry.node_address(level, index)
+                self._write(node_address, pack_counter(0))
+                children = self._children_of(level, index)
+                mac = self.mac_key.tag(*self._node_mac_input(level, index, 0, children))
+                self._write(node_address + COUNTER_BYTES, mac)
+        self.root_counter = 0
+        if self.cache is not None:
+            self.cache.flush()

@@ -1,0 +1,38 @@
+"""Discrete-event simulation kernel.
+
+The kernel keeps simulated time as an integer number of picoseconds and
+executes scheduled events in timestamp order.  Components never "tick":
+clock edges, timer expirations and state-machine steps are *computed* and
+scheduled, so simulating 30 seconds of platform idle costs a handful of
+events rather than millions of cycles.
+
+Public API
+----------
+
+:class:`Kernel`
+    The event loop: :meth:`~Kernel.schedule`, :meth:`~Kernel.run`,
+    :attr:`~Kernel.now`.
+:class:`Event`
+    A cancellable scheduled callback.
+:class:`Signal`
+    A named value holder that wakes waiters on change.
+:class:`Process`
+    A generator-based coroutine driven by the kernel.
+:class:`TraceRecorder`
+    Records ``(time, channel, value)`` samples for analysis.
+"""
+
+from repro.sim.kernel import Event, Kernel
+from repro.sim.process import Process, WaitSignal
+from repro.sim.signals import Signal
+from repro.sim.trace import TraceRecorder, TraceSample
+
+__all__ = [
+    "Event",
+    "Kernel",
+    "Process",
+    "Signal",
+    "TraceRecorder",
+    "TraceSample",
+    "WaitSignal",
+]

@@ -1,0 +1,187 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Kernel` owns simulated time (integer picoseconds) and a priority
+queue of :class:`Event` objects.  Events scheduled for the same timestamp
+run in FIFO order of scheduling, which makes flows deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class Event:
+    """A scheduled callback that can be cancelled before it fires.
+
+    Events are created through :meth:`Kernel.schedule` /
+    :meth:`Kernel.schedule_at`; user code should not instantiate them
+    directly.
+    """
+
+    __slots__ = ("time_ps", "seq", "callback", "cancelled", "fired", "label")
+
+    def __init__(self, time_ps: int, seq: int, callback: Callback, label: str = "") -> None:
+        self.time_ps = time_ps
+        self.seq = seq
+        self.callback: Optional[Callback] = callback
+        self.cancelled = False
+        self.fired = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling a fired event is a no-op."""
+        self.cancelled = True
+        self.callback = None  # break reference cycles early
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not yet fired or cancelled."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time_ps, self.seq) < (other.time_ps, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"<Event t={self.time_ps}ps {self.label or 'anon'} {state}>"
+
+
+class Kernel:
+    """Event loop owning simulated time.
+
+    Usage::
+
+        kernel = Kernel()
+        kernel.schedule(units.us_to_ps(5), lambda: print("5us later"))
+        kernel.run(until_ps=units.ms_to_ps(1))
+    """
+
+    def __init__(self) -> None:
+        self._now_ps = 0
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.events_fired = 0
+
+    # --- time -------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self._now_ps
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulated time in seconds (float convenience view)."""
+        return self._now_ps / 10**12
+
+    # --- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay_ps: int, callback: Callback, label: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay_ps`` picoseconds from now."""
+        if delay_ps < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay_ps}ps)")
+        return self.schedule_at(self._now_ps + delay_ps, callback, label)
+
+    def schedule_at(self, time_ps: int, callback: Callback, label: str = "") -> Event:
+        """Schedule ``callback`` at absolute time ``time_ps``."""
+        if time_ps < self._now_ps:
+            raise SimulationError(
+                f"cannot schedule at t={time_ps}ps, now is t={self._now_ps}ps"
+            )
+        event = Event(time_ps, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_soon(self, callback: Callback, label: str = "") -> Event:
+        """Schedule ``callback`` at the current time, after pending same-time events."""
+        return self.schedule_at(self._now_ps, callback, label)
+
+    # --- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now_ps = event.time_ps
+            event.fired = True
+            callback = event.callback
+            event.callback = None
+            self.events_fired += 1
+            assert callback is not None
+            callback()
+            return True
+        return False
+
+    def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until_ps`` is reached, or
+        ``max_events`` have fired.
+
+        Returns the number of events fired by this call.  When ``until_ps``
+        is given, simulated time is advanced to exactly ``until_ps`` even if
+        the final events fire earlier, so that power integration windows are
+        exact.
+        """
+        if self._running:
+            raise SimulationError("kernel.run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._queue and not self._stopped:
+                if max_events is not None and fired >= max_events:
+                    break
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until_ps is not None and head.time_ps > until_ps:
+                    break
+                if self.step():
+                    fired += 1
+        finally:
+            self._running = False
+        if until_ps is not None and not self._stopped and self._now_ps < until_ps:
+            self._now_ps = until_ps
+        return fired
+
+    def stop(self) -> None:
+        """Request :meth:`run` to return after the current event."""
+        self._stopped = True
+
+    def advance_to(self, time_ps: int) -> None:
+        """Advance idle time to ``time_ps`` without firing events.
+
+        Only legal when no pending event precedes ``time_ps``; used by
+        analytical fast-forward paths.
+        """
+        if time_ps < self._now_ps:
+            raise SimulationError("cannot advance time backwards")
+        for event in self._queue:
+            if event.pending and event.time_ps < time_ps:
+                raise SimulationError(
+                    "advance_to would skip a pending event at "
+                    f"t={event.time_ps}ps ({event.label or 'anon'})"
+                )
+        self._now_ps = time_ps
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently scheduled (excluding cancelled ones)."""
+        return sum(1 for event in self._queue if event.pending)
+
+    def next_event_time(self) -> Optional[int]:
+        """Timestamp of the earliest pending event, or None if idle."""
+        for event in sorted(self._queue):
+            if event.pending:
+                return event.time_ps
+        return None

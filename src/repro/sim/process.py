@@ -1,0 +1,102 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a generator.  The generator yields either
+
+* an ``int`` — a delay in picoseconds after which the process resumes, or
+* a :class:`WaitSignal` — the process resumes when the named signal next
+  changes to a matching value.
+
+Processes are how multi-step flows (DRIPS entry, calibration, PML
+transactions) are written without hand-rolled continuation callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Kernel
+from repro.sim.signals import Signal
+
+ProcessBody = Generator[Any, None, None]
+
+
+class WaitSignal:
+    """Yielded by a process to block until ``signal`` takes ``value``.
+
+    If ``value`` is ``None`` the process resumes on *any* change.  If the
+    signal already equals ``value`` the process resumes immediately (on the
+    next kernel dispatch at the current time).
+    """
+
+    __slots__ = ("signal", "value")
+
+    def __init__(self, signal: Signal, value: Any = None) -> None:
+        self.signal = signal
+        self.value = value
+
+    def satisfied_now(self) -> bool:
+        """True when the wait condition already holds."""
+        return self.value is not None and self.signal.value == self.value
+
+
+class Process:
+    """Drives a generator through the kernel until it finishes.
+
+    The process starts immediately upon construction (its first segment runs
+    at the current simulation time when the kernel next dispatches).
+    """
+
+    def __init__(self, kernel: Kernel, body: ProcessBody, name: str = "process") -> None:
+        self.kernel = kernel
+        self.name = name
+        self._body = body
+        self.finished = False
+        self.result: Optional[Any] = None
+        self._unsubscribe = None
+        kernel.call_soon(self._advance, label=f"{name}:start")
+
+    def _advance(self) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = next(self._body)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = getattr(stop, "value", None)
+            return
+        self._handle(yielded)
+
+    def _handle(self, yielded: Any) -> None:
+        if isinstance(yielded, int):
+            if yielded < 0:
+                raise SimulationError(f"{self.name} yielded negative delay {yielded}")
+            self.kernel.schedule(yielded, self._advance, label=f"{self.name}:delay")
+        elif isinstance(yielded, WaitSignal):
+            if yielded.satisfied_now():
+                self.kernel.call_soon(self._advance, label=f"{self.name}:wait-done")
+                return
+            self._wait_for(yielded)
+        else:
+            raise SimulationError(
+                f"{self.name} yielded unsupported value {yielded!r}; "
+                "expected int delay or WaitSignal"
+            )
+
+    def _wait_for(self, wait: WaitSignal) -> None:
+        def watcher(_signal: Signal, _old: Any, new: Any) -> None:
+            if wait.value is None or new == wait.value:
+                assert self._unsubscribe is not None
+                self._unsubscribe()
+                self._unsubscribe = None
+                self.kernel.call_soon(self._advance, label=f"{self.name}:signal")
+
+        self._unsubscribe = wait.signal.watch(watcher)
+
+    def abort(self) -> None:
+        """Terminate the process without running further segments."""
+        self.finished = True
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        self._body.close()

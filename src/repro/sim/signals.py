@@ -1,0 +1,101 @@
+"""Signals: named value holders that notify watchers on change.
+
+Signals model wires and control lines (for example the ``Switch_to_32KHz``
+line of Fig. 3, or the chipset's FET control GPIO).  Watchers are plain
+callbacks invoked synchronously when the value changes; generator-based
+:class:`~repro.sim.process.Process` objects can block on a signal via
+:class:`~repro.sim.process.WaitSignal`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+Watcher = Callable[["Signal", Any, Any], None]
+
+
+class Signal:
+    """A named value with change notification.
+
+    ``Signal`` is deliberately synchronous: setting a value invokes all
+    watchers before returning, which mirrors how a level change propagates
+    combinationally through control logic.
+    """
+
+    def __init__(self, name: str, initial: Any = 0) -> None:
+        self.name = name
+        self._value = initial
+        self._watchers: List[Watcher] = []
+        self.change_count = 0
+
+    @property
+    def value(self) -> Any:
+        """Current value of the signal."""
+        return self._value
+
+    def set(self, value: Any) -> None:
+        """Drive the signal.  Watchers fire only on an actual change."""
+        if value == self._value:
+            return
+        old = self._value
+        self._value = value
+        self.change_count += 1
+        for watcher in list(self._watchers):
+            watcher(self, old, value)
+
+    def assert_(self) -> None:
+        """Drive the signal high (boolean convenience)."""
+        self.set(True)
+
+    def deassert(self) -> None:
+        """Drive the signal low (boolean convenience)."""
+        self.set(False)
+
+    def watch(self, watcher: Watcher) -> Callable[[], None]:
+        """Register ``watcher(signal, old, new)``; returns an unsubscribe."""
+        self._watchers.append(watcher)
+
+        def unsubscribe() -> None:
+            if watcher in self._watchers:
+                self._watchers.remove(watcher)
+
+        return unsubscribe
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Signal {self.name}={self._value!r}>"
+
+
+class EdgeDetector:
+    """Watches a boolean signal and records rising/falling edge counts."""
+
+    def __init__(self, signal: Signal) -> None:
+        self.signal = signal
+        self.rising = 0
+        self.falling = 0
+        self._unsubscribe = signal.watch(self._on_change)
+
+    def _on_change(self, _signal: Signal, old: Any, new: Any) -> None:
+        if not old and new:
+            self.rising += 1
+        elif old and not new:
+            self.falling += 1
+
+    def detach(self) -> None:
+        """Stop watching the signal."""
+        self._unsubscribe()
+
+
+def latch_on_rising(signal: Signal, action: Callable[[], None]) -> Callable[[], None]:
+    """Run ``action`` on every rising edge of a boolean ``signal``.
+
+    Returns an unsubscribe callable.
+    """
+
+    def watcher(_signal: Signal, old: Any, new: Any) -> None:
+        if not old and new:
+            action()
+
+    return signal.watch(watcher)

@@ -1,0 +1,108 @@
+"""Trace recording for simulations.
+
+A :class:`TraceRecorder` accumulates ``(time_ps, channel, value)`` samples.
+It is the substrate for the simulated power analyzer and for the state
+residency counters, and is handy in tests for asserting flow ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One recorded sample."""
+
+    time_ps: int
+    channel: str
+    value: Any
+
+
+class TraceRecorder:
+    """Append-only store of timestamped samples, indexed by channel."""
+
+    def __init__(self) -> None:
+        self._samples: List[TraceSample] = []
+        self._by_channel: Dict[str, List[TraceSample]] = {}
+
+    def record(self, time_ps: int, channel: str, value: Any) -> None:
+        """Append a sample.  Timestamps must be monotonically non-decreasing
+        within a channel (events at the same time are allowed)."""
+        channel_samples = self._by_channel.setdefault(channel, [])
+        if channel_samples and time_ps < channel_samples[-1].time_ps:
+            raise ValueError(
+                f"trace channel {channel!r} went backwards: "
+                f"{time_ps} < {channel_samples[-1].time_ps}"
+            )
+        sample = TraceSample(time_ps, channel, value)
+        self._samples.append(sample)
+        channel_samples.append(sample)
+
+    # --- queries --------------------------------------------------------
+
+    def channels(self) -> List[str]:
+        """Sorted list of channel names seen so far."""
+        return sorted(self._by_channel)
+
+    def samples(self, channel: Optional[str] = None) -> List[TraceSample]:
+        """All samples, or the samples of one channel, in time order."""
+        if channel is None:
+            return list(self._samples)
+        return list(self._by_channel.get(channel, []))
+
+    def last(self, channel: str) -> Optional[TraceSample]:
+        """Most recent sample of ``channel``, or None."""
+        channel_samples = self._by_channel.get(channel)
+        return channel_samples[-1] if channel_samples else None
+
+    def value_at(self, channel: str, time_ps: int) -> Any:
+        """Value of ``channel`` as of ``time_ps`` (step interpolation)."""
+        result: Any = None
+        for sample in self._by_channel.get(channel, []):
+            if sample.time_ps > time_ps:
+                break
+            result = sample.value
+        return result
+
+    def intervals(self, channel: str, end_ps: int) -> Iterator[Tuple[int, int, Any]]:
+        """Yield ``(start_ps, stop_ps, value)`` step intervals up to ``end_ps``."""
+        channel_samples = self._by_channel.get(channel, [])
+        for current, following in zip(channel_samples, channel_samples[1:]):
+            stop = min(following.time_ps, end_ps)
+            if stop > current.time_ps:
+                yield current.time_ps, stop, current.value
+        if channel_samples and channel_samples[-1].time_ps < end_ps:
+            yield channel_samples[-1].time_ps, end_ps, channel_samples[-1].value
+
+    def dwell_times(self, channel: str, end_ps: int) -> Dict[Any, int]:
+        """Total picoseconds spent at each value of ``channel`` up to ``end_ps``."""
+        totals: Dict[Any, int] = {}
+        for start, stop, value in self.intervals(channel, end_ps):
+            totals[value] = totals.get(value, 0) + (stop - start)
+        return totals
+
+    def transitions(self, channel: str) -> List[Tuple[int, Any, Any]]:
+        """List of ``(time_ps, old_value, new_value)`` changes of ``channel``."""
+        channel_samples = self._by_channel.get(channel, [])
+        return [
+            (after.time_ps, before.value, after.value)
+            for before, after in zip(channel_samples, channel_samples[1:])
+            if before.value != after.value
+        ]
+
+    def ordering(self, channels: Iterable[str]) -> List[str]:
+        """Channel names ordered by the time of their first sample.
+
+        Useful for asserting the entry-flow step order in tests.
+        """
+        firsts = []
+        for channel in channels:
+            channel_samples = self._by_channel.get(channel)
+            if channel_samples:
+                firsts.append((channel_samples[0].time_ps, channel_samples[0].channel))
+        return [name for _time, name in sorted(firsts)]
+
+    def __len__(self) -> int:
+        return len(self._samples)

@@ -1,0 +1,15 @@
+"""Platform integration: board, Skylake platform builder, DRIPS/ODRIPS flows.
+
+:class:`SkylakePlatform` wires every substrate together according to a
+:class:`~repro.config.PlatformConfig` and a
+:class:`~repro.core.techniques.TechniqueSet`, reproducing Fig. 1(a) with
+the Fig. 3(a) additions.  :class:`FlowController` implements the entry and
+exit flows of Sec. 2.2 with the ODRIPS extensions of Secs. 4-6.
+"""
+
+from repro.system.states import PlatformState
+from repro.system.board import Board
+from repro.system.skylake import SkylakePlatform
+from repro.system.flows import FlowController
+
+__all__ = ["Board", "FlowController", "PlatformState", "SkylakePlatform"]

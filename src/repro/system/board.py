@@ -1,0 +1,100 @@
+"""Board-level components: crystals, the AON-IO FET, DRAM/PCM, and the EC.
+
+Everything in Fig. 1(a) that is not inside the processor or chipset dies:
+the two crystal oscillators, the external voltage regulators (modeled as
+rails in the power tree), the memory devices, the embedded controller,
+and — new with ODRIPS — the FET that gates the processor's AON IO rail
+(Fig. 3(a)).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clocks.clock import DerivedClock
+from repro.clocks.crystal import CrystalOscillator
+from repro.config import PlatformConfig
+from repro.core.techniques import ContextStore
+from repro.io.ec import EmbeddedController
+from repro.memory.dram import DRAMDevice
+from repro.memory.nvm import PCMDevice
+from repro.power.domain import PowerDomain
+from repro.power.gates import BoardFETGate
+from repro.sim.kernel import Kernel
+from repro.units import GIB
+
+
+class Board:
+    """The motherboard: clock sources, memory device, FET, EC."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        config: PlatformConfig,
+        clock_domain: PowerDomain,
+        memory_domain: PowerDomain,
+        context_store: ContextStore,
+    ) -> None:
+        self.kernel = kernel
+        self.config = config
+        budget = config.budget
+
+        # --- crystals --------------------------------------------------------
+        self.fast_xtal = CrystalOscillator(
+            "xtal-24mhz",
+            nominal_hz=config.fast_xtal_hz,
+            ppm_error=config.fast_xtal_ppm,
+            power_watts=budget.fast_xtal_w,
+            startup_time_ps=config.transitions.xtal_fast_restart_ps,
+            power_component=clock_domain.new_component("board.xtal24"),
+        )
+        self.slow_xtal = CrystalOscillator(
+            "xtal-32khz",
+            nominal_hz=config.slow_xtal_hz,
+            ppm_error=config.slow_xtal_ppm,
+            power_watts=budget.slow_xtal_w,
+            power_component=clock_domain.new_component("board.xtal32k"),
+        )
+        self.fast_clock = DerivedClock("clk-24mhz", self.fast_xtal)
+        self.slow_clock = DerivedClock("clk-32khz", self.slow_xtal)
+
+        # --- main memory -------------------------------------------------------
+        # ODRIPS-PCM replaces DRAM as main memory (Sec. 8.3); everything
+        # else uses DDR3L.  Device power constants are derived from the
+        # budget so that self-refresh matches the Fig. 1(b) slice.
+        gib = config.dram_capacity_bytes / GIB
+        if context_store is ContextStore.PCM:
+            self.memory = PCMDevice(
+                "pcm-main",
+                capacity_bytes=config.dram_capacity_bytes,
+                power_component=memory_domain.new_component("memory.main"),
+            )
+            # As main memory, PCM pays the same interface/controller power
+            # as DRAM while the platform is active; non-volatility only
+            # removes the standby (self-refresh + CKE) cost (Sec. 8.3).
+            self.memory.interface_watts = config.active_model.dram_active_watts_at_1600
+            self.is_pcm_main_memory = True
+        else:
+            self.memory = DRAMDevice(
+                "ddr3l",
+                capacity_bytes=config.dram_capacity_bytes,
+                transfer_rate_hz=config.dram_rate_hz,
+                channels=config.dram_channels,
+                self_refresh_watts_per_gib=budget.dram_self_refresh_w / gib,
+                active_standby_watts_per_gib=(
+                    config.active_model.dram_active_watts_at_1600 / gib
+                ),
+                power_component=memory_domain.new_component("memory.main"),
+            )
+            self.is_pcm_main_memory = False
+
+        # --- the AON-IO FET (Fig. 3(a), Sec. 5.1) ---------------------------------
+        self.aon_io_fet = BoardFETGate("board.aon-io-fet", closed=True)
+
+        # --- embedded controller ----------------------------------------------------
+        self.ec = EmbeddedController(kernel)
+
+        # --- misc board (SSD standby, sensors, ...) ----------------------------------
+        self.other_component = clock_domain.new_component(
+            "board.other", budget.board_other_w
+        )

@@ -1,0 +1,35 @@
+"""Platform-level power states of the connected-standby cycle (Fig. 2).
+
+The four states of Equation 1: Active (C0 with display off), Entry,
+DRIPS (or ODRIPS), and Exit.  Residency in each is what the average-power
+model weighs.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PlatformState(enum.Enum):
+    """Where the platform is in the periodic connected-standby cycle."""
+
+    BOOT = "boot"
+    ACTIVE = "active"     # C0, display off, kernel maintenance
+    ENTRY = "entry"       # executing the DRIPS entry flow
+    DRIPS = "drips"       # deepest runtime idle (baseline or ODRIPS)
+    EXIT = "exit"         # executing the DRIPS exit flow
+
+    @property
+    def is_idle(self) -> bool:
+        return self is PlatformState.DRIPS
+
+    @property
+    def in_transition(self) -> bool:
+        return self in (PlatformState.ENTRY, PlatformState.EXIT)
+
+
+#: Trace channel names the platform publishes.
+STATE_CHANNEL = "state"
+POWER_CHANNEL = "platform"
+WAKE_CHANNEL = "wake"
+FLOW_CHANNEL = "flow"  # step-by-step log of the entry/exit flows

@@ -1,0 +1,36 @@
+"""Timer subsystem: TSC, chipset dual timer, and Step calibration.
+
+Implements Sec. 4 of the paper:
+
+* :class:`FixedPoint` — the m-bit integer / f-bit fraction arithmetic the
+  slow timer and the Step value use (Sec. 4.1.3).
+* :class:`TimeStampCounter` — a lazily-evaluated counter on a clock's edge
+  grid (the processor's main timer / TSC).
+* :class:`ChipsetDualTimer` — the fast (24 MHz) + slow (32.768 kHz) timer
+  pair added to the chipset, with the edge-aligned handoff of Fig. 3(b).
+* :class:`StepCalibrator` — the run-once-per-reset calibration that counts
+  fast edges over 2^f slow cycles and derives the fixed-point Step.
+* Sizing helpers implementing Equations 2–4 (``m = 10``, ``f = 21`` for
+  1 ppb at 24 MHz / 32.768 kHz).
+"""
+
+from repro.timers.fixedpoint import FixedPoint
+from repro.timers.tsc import TimeStampCounter
+from repro.timers.dual_timer import ChipsetDualTimer, TimerMode
+from repro.timers.calibration import (
+    StepCalibrator,
+    fractional_bits_for_precision,
+    integer_bits_for_ratio,
+    worst_case_drift_ppb,
+)
+
+__all__ = [
+    "ChipsetDualTimer",
+    "FixedPoint",
+    "StepCalibrator",
+    "TimeStampCounter",
+    "TimerMode",
+    "fractional_bits_for_precision",
+    "integer_bits_for_ratio",
+    "worst_case_drift_ppb",
+]

@@ -1,0 +1,149 @@
+"""Step calibration (Sec. 4.1.3).
+
+The calibration counts ``N_fast`` fast-clock edges over ``N_slow = 2**f``
+slow-clock cycles and divides by reinterpreting the counter bits — no
+divider circuit needed.  It runs once per platform reset and yields the
+fixed-point Step installed into the chipset's slow timer.
+
+Register sizing follows Equations 2–4 of the paper:
+
+* Eq. 2: ``m = floor(log2(fast/slow)) + 1`` integer bits.
+* Eq. 3 defines the counting drift ``epsilon``.
+* Eq. 4: for 1 ppb precision, ``2**f`` slow cycles must cover at least
+  ``(10**9 - 1) / (fast/slow)`` — giving ``f = 21`` for 24 MHz / 32.768 kHz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.clocks.crystal import CrystalOscillator
+from repro.errors import TimerError
+from repro.timers.fixedpoint import FixedPoint
+
+
+def integer_bits_for_ratio(fast_hz: float, slow_hz: float) -> int:
+    """Equation 2: integer bits needed for the Step register."""
+    if fast_hz <= 0 or slow_hz <= 0 or fast_hz <= slow_hz:
+        raise TimerError("need fast_hz > slow_hz > 0")
+    return int(math.floor(math.log2(fast_hz / slow_hz))) + 1
+
+
+def fractional_bits_for_precision(fast_hz: float, slow_hz: float, ppb: float = 1.0) -> int:
+    """Equation 4: fractional bits needed for ``ppb`` precision.
+
+    ``2**f`` slow cycles must span at least ``(1/ppb_fraction - 1)`` fast
+    cycles so that the quantized Step drifts by less than one fast count
+    over that horizon.
+    """
+    if ppb <= 0:
+        raise TimerError("ppb must be positive")
+    ratio = fast_hz / slow_hz
+    min_slow_cycles = (1e9 / ppb - 1.0) / ratio
+    return max(0, math.ceil(math.log2(min_slow_cycles)))
+
+
+def worst_case_drift_ppb(fast_hz: float, slow_hz: float, frac_bits: int) -> float:
+    """Upper bound on steady-state drift from Step quantization, in ppb.
+
+    Each slow cycle can accumulate at most ``2**-f`` fast-count error, and
+    a slow cycle spans ``fast/slow`` fast counts, so the relative drift is
+    bounded by ``2**-f / (fast/slow)``.
+    """
+    ratio = fast_hz / slow_hz
+    return (2.0 ** -frac_bits) / ratio * 1e9
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of one calibration run."""
+
+    step: FixedPoint
+    n_fast: int
+    n_slow: int
+    duration_ps: int
+    start_ps: int
+    end_ps: int
+
+    @property
+    def measured_ratio(self) -> float:
+        """The average fast/slow frequency ratio the hardware observed."""
+        return self.n_fast / self.n_slow
+
+
+class StepCalibrator:
+    """Counts fast edges over ``2**f`` slow cycles and derives Step.
+
+    The calibration "lasts for several seconds ... [but] needs to be
+    carried out only once after each reset" (Sec. 4.1.3).  In simulation
+    the edge counts are computed analytically from the crystals' integer
+    edge grids, so the multi-second window costs O(1).
+    """
+
+    def __init__(
+        self,
+        fast_crystal: CrystalOscillator,
+        slow_crystal: CrystalOscillator,
+        frac_bits: int,
+        int_bits: int,
+    ) -> None:
+        self.fast_crystal = fast_crystal
+        self.slow_crystal = slow_crystal
+        self.frac_bits = frac_bits
+        self.int_bits = int_bits
+        self.result: CalibrationResult | None = None
+
+    @property
+    def n_slow(self) -> int:
+        """Number of slow cycles the calibration window spans (2**f)."""
+        return 1 << self.frac_bits
+
+    def duration_ps(self) -> int:
+        """Length of the calibration window in picoseconds."""
+        return self.n_slow * self.slow_crystal.period_ps
+
+    def run(self, start_ps: int) -> CalibrationResult:
+        """Perform the calibration starting at ``start_ps``.
+
+        Both crystals must be enabled and stable for the whole window.
+        The window is aligned to the first slow edge at or after
+        ``start_ps`` and spans exactly ``2**f`` slow cycles; ``N_fast`` is
+        the number of fast edges inside it.
+        """
+        if not self.fast_crystal.enabled:
+            raise TimerError("calibration needs the fast crystal running")
+        if not self.slow_crystal.enabled:
+            raise TimerError("calibration needs the slow crystal running")
+        window_start = self.slow_crystal.next_edge(start_ps)
+        window_end = window_start + self.n_slow * self.slow_crystal.period_ps
+        n_fast = self.fast_crystal.edges_in(window_start, window_end)
+        step = FixedPoint.from_ratio(
+            n_fast,
+            denominator_pow2=self.frac_bits,
+            frac_bits=self.frac_bits,
+            int_bits=self.int_bits,
+        )
+        self.result = CalibrationResult(
+            step=step,
+            n_fast=n_fast,
+            n_slow=self.n_slow,
+            duration_ps=window_end - window_start,
+            start_ps=window_start,
+            end_ps=window_end,
+        )
+        return self.result
+
+    @classmethod
+    def for_precision(
+        cls,
+        fast_crystal: CrystalOscillator,
+        slow_crystal: CrystalOscillator,
+        ppb: float = 1.0,
+    ) -> "StepCalibrator":
+        """Build a calibrator sized by Equations 2 and 4 for ``ppb``."""
+        int_bits = integer_bits_for_ratio(fast_crystal.nominal_hz, slow_crystal.nominal_hz)
+        frac_bits = fractional_bits_for_precision(
+            fast_crystal.nominal_hz, slow_crystal.nominal_hz, ppb
+        )
+        return cls(fast_crystal, slow_crystal, frac_bits=frac_bits, int_bits=int_bits)

@@ -1,0 +1,182 @@
+"""The chipset's fast/slow dual timer (Sec. 4.1.2, Fig. 3).
+
+Two timers are added to the chipset: a *fast* timer on the 24 MHz clock
+(+1 per cycle) and a *slow* timer on the 32.768 kHz clock (+Step per
+cycle, Step a 10.21 fixed-point).  ODRIPS entry copies the processor's
+main-timer value into the fast timer, then — on the next rising edge of
+the slow clock — hands the count to the slow timer so that the 24 MHz
+crystal can be switched off.  Exit reverses the handoff on a slow-clock
+edge and compensates for the PML transfer delay by adding a fixed constant
+to the transferred value.
+
+The implementation is event-driven but *bit-exact*: the slow timer is a
+(64 + f)-bit register accumulating the integer Step raw value on every
+slow edge, exactly as the RTL would.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.clocks.clock import DerivedClock
+from repro.errors import TimerError
+from repro.timers.fixedpoint import FixedPoint
+
+
+class TimerMode(enum.Enum):
+    """Which of the two chipset timers currently owns the count."""
+
+    IDLE = "idle"       # no value loaded (before first DRIPS entry)
+    FAST = "fast"       # fast timer counting at 24 MHz
+    SLOW = "slow"       # slow timer counting at 32.768 kHz
+
+
+class ChipsetDualTimer:
+    """Fast + slow timer pair with edge-aligned handoff."""
+
+    WIDTH_BITS = 64
+
+    def __init__(
+        self,
+        name: str,
+        fast_clock: DerivedClock,
+        slow_clock: DerivedClock,
+        frac_bits: int,
+    ) -> None:
+        self.name = name
+        self.fast_clock = fast_clock
+        self.slow_clock = slow_clock
+        self.frac_bits = frac_bits
+        self.step: Optional[FixedPoint] = None
+        self.mode = TimerMode.IDLE
+        # fast-timer anchor
+        self._fast_base_count = 0
+        self._fast_anchor_ps = 0
+        # slow-timer anchor: raw register value at the anchor edge
+        self._slow_base_raw = 0
+        self._slow_anchor_ps = 0
+        self.handoff_count = 0
+
+    # --- configuration -----------------------------------------------------
+
+    def set_step(self, step: FixedPoint) -> None:
+        """Install the calibrated Step value (Sec. 4.1.3)."""
+        if step.frac_bits != self.frac_bits:
+            raise TimerError(
+                f"{self.name}: step has {step.frac_bits} frac bits, timer needs {self.frac_bits}"
+            )
+        if step.raw <= 0:
+            raise TimerError(f"{self.name}: step must be positive")
+        self.step = step
+
+    @property
+    def calibrated(self) -> bool:
+        return self.step is not None
+
+    # --- loading from the processor ------------------------------------------
+
+    def load_fast(self, now_ps: int, value: int, compensation_cycles: int = 0) -> None:
+        """Copy the processor's main-timer value into the fast timer.
+
+        ``compensation_cycles`` is the fixed constant added "to compensate
+        for the time it takes to transfer the timer value on the [PML]
+        channel" (Sec. 4.1.2), expressed in fast-clock cycles.
+        """
+        self._fast_base_count = (value + compensation_cycles) & ((1 << self.WIDTH_BITS) - 1)
+        self._fast_anchor_ps = self.fast_clock.source.previous_edge(now_ps)
+        self.mode = TimerMode.FAST
+
+    # --- reading -----------------------------------------------------------------
+
+    def read(self, now_ps: int) -> int:
+        """Current 64-bit count (integer part in slow mode)."""
+        if self.mode == TimerMode.IDLE:
+            raise TimerError(f"{self.name}: no value loaded")
+        if self.mode == TimerMode.FAST:
+            return self._read_fast(now_ps)
+        return self._read_slow_raw(now_ps) >> self.frac_bits
+
+    def _read_fast(self, now_ps: int) -> int:
+        edges = self.fast_clock.edges_in(self._fast_anchor_ps + 1, now_ps + 1)
+        return (self._fast_base_count + edges) & ((1 << self.WIDTH_BITS) - 1)
+
+    def _slow_edges_since_anchor(self, now_ps: int) -> int:
+        return self.slow_clock.edges_in(self._slow_anchor_ps + 1, now_ps + 1)
+
+    def _read_slow_raw(self, now_ps: int) -> int:
+        assert self.step is not None
+        edges = self._slow_edges_since_anchor(now_ps)
+        mask = (1 << (self.WIDTH_BITS + self.frac_bits)) - 1
+        return (self._slow_base_raw + edges * self.step.raw) & mask
+
+    def value_for_processor(self, now_ps: int, compensation_cycles: int = 0) -> int:
+        """Value to send back over the PML, with transfer compensation."""
+        return (self.read(now_ps) + compensation_cycles) & ((1 << self.WIDTH_BITS) - 1)
+
+    # --- handoff: fast -> slow ------------------------------------------------------
+
+    def next_slow_edge(self, now_ps: int) -> int:
+        """Time of the rising slow-clock edge the handoff must wait for."""
+        return self.slow_clock.next_edge(now_ps + 1)
+
+    def switch_to_slow(self, edge_ps: int) -> None:
+        """Complete the fast→slow handoff at slow-clock edge ``edge_ps``.
+
+        At the edge, "the fast-timer value is copied into the slow-timer,
+        and [the] slow-timer starts toggling with the 32KHz clock"
+        (Sec. 4.1.2).  After this returns, the 24 MHz clock may be gated
+        and its crystal turned off.
+        """
+        if self.mode != TimerMode.FAST:
+            raise TimerError(f"{self.name}: switch_to_slow from mode {self.mode}")
+        if self.step is None:
+            raise TimerError(f"{self.name}: not calibrated")
+        fast_value = self._read_fast(edge_ps)
+        self._slow_base_raw = fast_value << self.frac_bits
+        self._slow_anchor_ps = edge_ps
+        self.mode = TimerMode.SLOW
+        self.handoff_count += 1
+
+    # --- handoff: slow -> fast ---------------------------------------------------------
+
+    def switch_to_fast(self, edge_ps: int) -> None:
+        """Complete the slow→fast handoff at slow-clock edge ``edge_ps``.
+
+        "The process waits for the rising edge of the 32KHz clock, and
+        copies the timer value (upper 64 bits) into the fast-timer"
+        (Sec. 4.1.2).  The fast crystal must already be re-enabled and
+        stable at ``edge_ps``.
+        """
+        if self.mode != TimerMode.SLOW:
+            raise TimerError(f"{self.name}: switch_to_fast from mode {self.mode}")
+        slow_raw = self._read_slow_raw(edge_ps)
+        self._fast_base_count = slow_raw >> self.frac_bits
+        self._fast_anchor_ps = self.fast_clock.source.previous_edge(edge_ps)
+        self.mode = TimerMode.FAST
+        self.handoff_count += 1
+
+    # --- deadlines ----------------------------------------------------------------------
+
+    def time_of_count(self, target: int, now_ps: int) -> int:
+        """Earliest time the count reaches ``target`` in the current mode."""
+        if self.mode == TimerMode.IDLE:
+            raise TimerError(f"{self.name}: no value loaded")
+        if self.mode == TimerMode.FAST:
+            current = self._read_fast(now_ps)
+            if target <= current:
+                return now_ps
+            remaining = target - current
+            last_edge = self.fast_clock.source.previous_edge(now_ps)
+            return last_edge + remaining * self.fast_clock.period_ps
+        # Slow mode: find the smallest edge index k with
+        # base_raw + k * step_raw >= target << f.
+        assert self.step is not None
+        target_raw = target << self.frac_bits
+        current_edges = self._slow_edges_since_anchor(now_ps)
+        current_raw = self._slow_base_raw + current_edges * self.step.raw
+        if current_raw >= target_raw:
+            return now_ps
+        deficit = target_raw - self._slow_base_raw
+        k = -(-deficit // self.step.raw)  # ceil division
+        return self._slow_anchor_ps + k * self.slow_clock.period_ps

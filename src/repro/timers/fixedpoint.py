@@ -1,0 +1,143 @@
+"""Fixed-point arithmetic for the slow timer and the Step value.
+
+Sec. 4.1.3: "we need to represent both the Step and the slow timer as
+fixed-point numbers (i.e., integer and fractional parts)".  A
+:class:`FixedPoint` value with ``f`` fractional bits stores the quantity
+``raw / 2**f`` as the integer ``raw``.  All arithmetic stays in integers,
+exactly as the hardware registers would, so quantization behaves
+bit-for-bit like the design the paper describes: the Step register has a
+10-bit integer and 21-bit fractional part; the slow timer accumulates
+(64 + 21) bits.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import TimerError
+
+Number = Union[int, float, "FixedPoint"]
+
+
+class FixedPoint:
+    """An unsigned fixed-point number with ``f`` fractional bits.
+
+    Instances are immutable.  ``int_bits`` is optional metadata used for
+    register-width overflow checking; arithmetic between values requires
+    equal ``frac_bits`` (hardware registers do not silently align points).
+    """
+
+    __slots__ = ("raw", "frac_bits", "int_bits")
+
+    def __init__(self, raw: int, frac_bits: int, int_bits: int | None = None) -> None:
+        if frac_bits < 0:
+            raise TimerError(f"frac_bits must be non-negative, got {frac_bits}")
+        if raw < 0:
+            raise TimerError(f"fixed-point values are unsigned, got raw={raw}")
+        if int_bits is not None:
+            if int_bits < 0:
+                raise TimerError(f"int_bits must be non-negative, got {int_bits}")
+            if raw >> frac_bits >= (1 << int_bits):
+                raise TimerError(
+                    f"value {raw / (1 << frac_bits)} overflows "
+                    f"{int_bits}.{frac_bits} fixed-point register"
+                )
+        self.raw = raw
+        self.frac_bits = frac_bits
+        self.int_bits = int_bits
+
+    # --- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_int(cls, value: int, frac_bits: int, int_bits: int | None = None) -> "FixedPoint":
+        """Represent the integer ``value`` exactly."""
+        return cls(value << frac_bits, frac_bits, int_bits)
+
+    @classmethod
+    def from_float(cls, value: float, frac_bits: int, int_bits: int | None = None) -> "FixedPoint":
+        """Quantize ``value`` to ``f`` fractional bits (round to nearest)."""
+        if value < 0:
+            raise TimerError("fixed-point values are unsigned")
+        return cls(round(value * (1 << frac_bits)), frac_bits, int_bits)
+
+    @classmethod
+    def from_ratio(
+        cls, numerator: int, denominator_pow2: int, frac_bits: int, int_bits: int | None = None
+    ) -> "FixedPoint":
+        """Divide ``numerator`` by ``2**denominator_pow2`` exactly as the
+        calibration hardware does: "placing the fixed point after the first
+        f least significant bits" (Sec. 4.1.3).
+
+        When ``denominator_pow2 == frac_bits`` the division is literally a
+        reinterpretation of the counter bits, with no arithmetic at all.
+        """
+        if numerator < 0:
+            raise TimerError("fixed-point values are unsigned")
+        shift = frac_bits - denominator_pow2
+        raw = numerator << shift if shift >= 0 else numerator >> (-shift)
+        return cls(raw, frac_bits, int_bits)
+
+    # --- views ----------------------------------------------------------------
+
+    @property
+    def integer_part(self) -> int:
+        """Bits above the point (the value rounded toward zero)."""
+        return self.raw >> self.frac_bits
+
+    @property
+    def fraction_raw(self) -> int:
+        """Bits below the point as an integer in [0, 2**f)."""
+        return self.raw & ((1 << self.frac_bits) - 1)
+
+    def to_float(self) -> float:
+        """Approximate float value (for reporting only, never arithmetic)."""
+        return self.raw / (1 << self.frac_bits)
+
+    @property
+    def quantum(self) -> float:
+        """The value of one least-significant bit: 2**-f."""
+        return 1.0 / (1 << self.frac_bits)
+
+    # --- arithmetic ---------------------------------------------------------------
+
+    def _check_compatible(self, other: "FixedPoint") -> None:
+        if self.frac_bits != other.frac_bits:
+            raise TimerError(
+                f"fixed-point mismatch: {self.frac_bits} vs {other.frac_bits} frac bits"
+            )
+
+    def __add__(self, other: "FixedPoint") -> "FixedPoint":
+        self._check_compatible(other)
+        return FixedPoint(self.raw + other.raw, self.frac_bits)
+
+    def __sub__(self, other: "FixedPoint") -> "FixedPoint":
+        self._check_compatible(other)
+        if other.raw > self.raw:
+            raise TimerError("fixed-point subtraction underflow")
+        return FixedPoint(self.raw - other.raw, self.frac_bits)
+
+    def mul_int(self, factor: int) -> "FixedPoint":
+        """Multiply by a non-negative integer (exact)."""
+        if factor < 0:
+            raise TimerError("fixed-point values are unsigned")
+        return FixedPoint(self.raw * factor, self.frac_bits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FixedPoint):
+            return NotImplemented
+        return self.frac_bits == other.frac_bits and self.raw == other.raw
+
+    def __lt__(self, other: "FixedPoint") -> bool:
+        self._check_compatible(other)
+        return self.raw < other.raw
+
+    def __le__(self, other: "FixedPoint") -> bool:
+        self._check_compatible(other)
+        return self.raw <= other.raw
+
+    def __hash__(self) -> int:
+        return hash((self.raw, self.frac_bits))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        width = f"{self.int_bits}.{self.frac_bits}" if self.int_bits else f"?.{self.frac_bits}"
+        return f"<FixedPoint {self.to_float():.9f} ({width})>"

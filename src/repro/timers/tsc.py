@@ -1,0 +1,100 @@
+"""Time-stamp counter (TSC) / main timer.
+
+"A timer event is an interrupt that occurs when the time-stamp-counter
+(TSC) of the system reaches a pre-scheduled target time" (Sec. 4.1).
+
+The counter never ticks in simulation: its value at time ``t`` is computed
+from the clock's edge grid relative to a ``(base_time, base_count)``
+anchor.  Freezing (clock gated / value handed off to the chipset) and
+re-loading (value handed back) move the anchor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clocks.clock import DerivedClock
+from repro.errors import TimerError
+
+
+class TimeStampCounter:
+    """A 64-bit counter incremented by one on every clock edge."""
+
+    WIDTH_BITS = 64
+
+    def __init__(self, name: str, clock: DerivedClock) -> None:
+        self.name = name
+        self.clock = clock
+        self._base_count = 0
+        self._base_time_ps = 0
+        self._frozen = False
+        self._frozen_value: Optional[int] = None
+
+    # --- value ------------------------------------------------------------
+
+    def read(self, now_ps: int) -> int:
+        """Counter value at ``now_ps``."""
+        if self._frozen:
+            assert self._frozen_value is not None
+            return self._frozen_value
+        if now_ps < self._base_time_ps:
+            raise TimerError(f"{self.name}: read before base time")
+        elapsed_edges = self.clock.edges_in(self._base_time_ps, now_ps + 1) - 1
+        if elapsed_edges < 0:
+            elapsed_edges = 0
+        value = self._base_count + elapsed_edges
+        return value & ((1 << self.WIDTH_BITS) - 1)
+
+    def load(self, now_ps: int, value: int) -> None:
+        """Set the counter to ``value``, counting onward from ``now_ps``.
+
+        The anchor snaps to the last clock edge at or before ``now_ps`` so
+        subsequent reads advance on the true edge grid.
+        """
+        if value < 0 or value >= (1 << self.WIDTH_BITS):
+            raise TimerError(f"{self.name}: value out of 64-bit range")
+        self._frozen = False
+        self._frozen_value = None
+        self._base_count = value
+        self._base_time_ps = self.clock.source.previous_edge(now_ps) if now_ps > 0 else 0
+
+    # --- freeze / thaw (DRIPS handoff) -----------------------------------------
+
+    def freeze(self, now_ps: int) -> int:
+        """Stop counting and return the held value (for handoff)."""
+        if self._frozen:
+            assert self._frozen_value is not None
+            return self._frozen_value
+        value = self.read(now_ps)
+        self._frozen = True
+        self._frozen_value = value
+        return value
+
+    def thaw(self, now_ps: int, value: Optional[int] = None) -> None:
+        """Resume counting from ``value`` (or the frozen value)."""
+        if not self._frozen:
+            raise TimerError(f"{self.name}: thaw without freeze")
+        resume = value if value is not None else self._frozen_value
+        assert resume is not None
+        self.load(now_ps, resume)
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    # --- deadline arithmetic ----------------------------------------------------
+
+    def time_of_count(self, target: int, now_ps: int) -> int:
+        """Earliest simulation time at which the counter reaches ``target``.
+
+        Raises :class:`TimerError` when frozen (a frozen counter never
+        reaches anything — the chipset timer owns deadlines then).
+        """
+        if self._frozen:
+            raise TimerError(f"{self.name}: frozen counter has no deadlines")
+        current = self.read(now_ps)
+        if target <= current:
+            return now_ps
+        remaining = target - current
+        last_edge = self.clock.source.previous_edge(now_ps)
+        return last_edge + remaining * self.clock.period_ps

@@ -1,0 +1,123 @@
+"""Unit conventions and conversion helpers.
+
+The library uses a small set of canonical units throughout:
+
+* **time**: simulated time is an integer number of **picoseconds**
+  (``int``).  Durations exposed to users are floats in **seconds**.
+* **power**: floats in **watts**.
+* **energy**: floats in **joules**.
+* **frequency**: floats in **hertz**.
+* **capacity**: integers in **bytes**.
+* **voltage**: floats in **volts**.
+
+Integer picoseconds give an exactly representable time base for clock-edge
+arithmetic across unsynchronized domains (24 MHz vs 32.768 kHz) without
+floating-point drift: one picosecond resolves frequencies up to 1 THz, and a
+64-bit integer holds ~106 days of picoseconds, far beyond any connected-
+standby interval we simulate.
+"""
+
+from __future__ import annotations
+
+# --- time -----------------------------------------------------------------
+
+PICOSECONDS_PER_SECOND: int = 10**12
+
+PS = 1
+NS = 10**3
+US = 10**6
+MS = 10**9
+SECOND = PICOSECONDS_PER_SECOND
+
+
+def seconds_to_ps(seconds: float) -> int:
+    """Convert a duration in seconds to integer picoseconds (rounded)."""
+    return round(seconds * PICOSECONDS_PER_SECOND)
+
+
+def ps_to_seconds(ps: int) -> float:
+    """Convert integer picoseconds to a float duration in seconds."""
+    return ps / PICOSECONDS_PER_SECOND
+
+
+def ms_to_ps(milliseconds: float) -> int:
+    """Convert a duration in milliseconds to integer picoseconds."""
+    return round(milliseconds * MS)
+
+
+def us_to_ps(microseconds: float) -> int:
+    """Convert a duration in microseconds to integer picoseconds."""
+    return round(microseconds * US)
+
+
+def ns_to_ps(nanoseconds: float) -> int:
+    """Convert a duration in nanoseconds to integer picoseconds."""
+    return round(nanoseconds * NS)
+
+
+def period_ps(frequency_hz: float) -> int:
+    """Return the period of ``frequency_hz`` in integer picoseconds.
+
+    Raises :class:`ValueError` for non-positive frequencies.
+    """
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return round(PICOSECONDS_PER_SECOND / frequency_hz)
+
+
+# --- power / energy --------------------------------------------------------
+
+MILLIWATT = 1e-3
+MICROWATT = 1e-6
+
+MILLIJOULE = 1e-3
+MICROJOULE = 1e-6
+
+
+def watts_to_milliwatts(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts / MILLIWATT
+
+
+def milliwatts(value: float) -> float:
+    """Return ``value`` milliwatts expressed in watts."""
+    return value * MILLIWATT
+
+
+def microwatts(value: float) -> float:
+    """Return ``value`` microwatts expressed in watts."""
+    return value * MICROWATT
+
+
+def energy_joules(power_watts: float, duration_ps: int) -> float:
+    """Energy in joules of ``power_watts`` sustained for ``duration_ps``."""
+    return power_watts * (duration_ps / PICOSECONDS_PER_SECOND)
+
+
+# --- frequency --------------------------------------------------------------
+
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+RTC_HZ = 32768.0          # the canonical 32.768 kHz real-time-clock crystal
+FAST_XTAL_HZ = 24 * MHZ   # the canonical 24 MHz platform crystal
+
+
+# --- capacity ----------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def parts_per_million(value: float, ppm: float) -> float:
+    """Return ``value`` offset by ``ppm`` parts-per-million."""
+    return value * (1.0 + ppm * 1e-6)
+
+
+def ratio_ppb(measured: float, reference: float) -> float:
+    """Relative error of ``measured`` vs ``reference`` in parts-per-billion."""
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return (measured - reference) / reference * 1e9

@@ -1,0 +1,26 @@
+"""Workloads: the connected-standby driver and wake-event injection.
+
+The paper's main workload is "an idle platform workload that places the
+platform into the connected-standby mode" (Sec. 7): ~30 s idle intervals
+punctuated by 100-300 ms kernel-maintenance bursts, with occasional
+external wakes.
+"""
+
+from repro.workloads.standby import ConnectedStandbyRunner, StandbyResult
+from repro.workloads.traces import (
+    ActivityTrace,
+    TraceDrivenRunner,
+    TraceEvent,
+    chatty_night_trace,
+    standard_standby_trace,
+)
+
+__all__ = [
+    "ActivityTrace",
+    "ConnectedStandbyRunner",
+    "StandbyResult",
+    "TraceDrivenRunner",
+    "TraceEvent",
+    "chatty_night_trace",
+    "standard_standby_trace",
+]

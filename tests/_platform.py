@@ -1,0 +1,34 @@
+"""Importable platform factories for the test suite.
+
+In its own module (not conftest.py) to avoid module-name collisions with
+benchmarks/conftest.py in combined pytest runs.
+"""
+
+from __future__ import annotations
+
+from repro.config import ContextInventory, PlatformConfig, skylake_config
+from repro.core.techniques import TechniqueSet
+from repro.system.skylake import SkylakePlatform
+
+
+def small_context_config() -> PlatformConfig:
+    """A Skylake config with a small context, for fast MEE-path tests."""
+    base = skylake_config()
+    return PlatformConfig(
+        name=base.name,
+        processor=base.processor,
+        chipset=base.chipset,
+        process=base.process,
+        context=ContextInventory(
+            system_agent_bytes=4096,
+            cores_bytes=6144,
+            graphics_bytes=2048,
+            boot_bytes=1024,
+        ),
+    )
+
+
+def build_platform(techniques: TechniqueSet, small_context: bool = False) -> SkylakePlatform:
+    """Platform factory used across system-level tests."""
+    config = small_context_config() if small_context else None
+    return SkylakePlatform(config=config, techniques=techniques)

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from _platform import build_platform, small_context_config
+from repro.clocks.crystal import CrystalOscillator
+from repro.clocks.clock import DerivedClock
+from repro.config import PlatformConfig
+from repro.core.techniques import TechniqueSet
+from repro.power.meter import EnergyMeter
+from repro.power.tree import PowerTree
+from repro.sim.kernel import Kernel
+from repro.sim.trace import TraceRecorder
+from repro.system.skylake import SkylakePlatform
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    return Kernel()
+
+
+@pytest.fixture
+def trace() -> TraceRecorder:
+    return TraceRecorder()
+
+
+@pytest.fixture
+def meter() -> EnergyMeter:
+    return EnergyMeter()
+
+
+@pytest.fixture
+def tree(kernel, meter, trace) -> PowerTree:
+    return PowerTree(kernel, meter, trace)
+
+
+@pytest.fixture
+def fast_crystal() -> CrystalOscillator:
+    return CrystalOscillator("xtal24", 24e6, ppm_error=10.0)
+
+
+@pytest.fixture
+def slow_crystal() -> CrystalOscillator:
+    return CrystalOscillator("rtc", 32768.0, ppm_error=-5.0)
+
+
+@pytest.fixture
+def fast_clock(fast_crystal) -> DerivedClock:
+    return DerivedClock("fastclk", fast_crystal)
+
+
+@pytest.fixture
+def slow_clock(slow_crystal) -> DerivedClock:
+    return DerivedClock("slowclk", slow_crystal)
+
+
+@pytest.fixture
+def fast_ctx_config() -> PlatformConfig:
+    return small_context_config()
+
+
+@pytest.fixture
+def baseline_platform() -> SkylakePlatform:
+    return build_platform(TechniqueSet.baseline())

@@ -1,0 +1,71 @@
+"""Tests for the ablation analyses."""
+
+import pytest
+
+from repro.analysis.ablations import (
+    gate_ablation,
+    mee_cache_ablation,
+    step_bits_ablation,
+    timer_location_ablation,
+)
+
+
+class TestGateAblation:
+    def test_fet_beats_epg_on_leakage(self):
+        epg, fet = gate_ablation()
+        assert fet.off_leakage_mw < epg.off_leakage_mw
+        assert fet.board_component and not epg.board_component
+
+    def test_leakage_scales_with_budget(self):
+        import dataclasses
+
+        from repro.config import DRIPSPowerBudget, skylake_config
+
+        small_budget = dataclasses.replace(
+            skylake_config().budget, aon_io_bank_w=1e-3
+        )
+        small = dataclasses.replace(skylake_config(), budget=small_budget)
+        default_rows = gate_ablation()
+        small_rows = gate_ablation(small)
+        assert small_rows[1].off_leakage_mw < default_rows[1].off_leakage_mw
+
+
+class TestTimerLocationAblation:
+    def test_chipset_wins(self):
+        into_processor, into_chipset = timer_location_ablation()
+        assert into_chipset.drips_saving_mw > into_processor.drips_saving_mw
+        assert into_chipset.extra_processor_pins == 0
+        assert into_processor.extra_processor_pins > 0
+
+    def test_only_chipset_enables_gating(self):
+        into_processor, into_chipset = timer_location_ablation()
+        assert into_chipset.enables_io_gating
+        assert not into_processor.enables_io_gating
+
+
+class TestMEECacheAblation:
+    def test_bigger_cache_fewer_accesses(self):
+        rows = mee_cache_ablation(
+            cache_geometries=[(1, 1), (64, 8)], data_size=16 * 1024, accesses=150
+        )
+        small, large = rows
+        assert large.hit_rate > small.hit_rate
+        assert large.metadata_accesses_per_read < small.metadata_accesses_per_read
+
+    def test_deterministic_given_seed(self):
+        a = mee_cache_ablation(cache_geometries=[(4, 2)], accesses=100, seed=5)
+        b = mee_cache_ablation(cache_geometries=[(4, 2)], accesses=100, seed=5)
+        assert a == b
+
+
+class TestStepBitsAblation:
+    def test_21_bits_is_the_knee(self):
+        rows = {row.fractional_bits: row for row in step_bits_ablation()}
+        assert not rows[20].meets_1ppb
+        assert rows[21].meets_1ppb
+
+    def test_calibration_time_doubles_per_bit(self):
+        rows = step_bits_ablation(bits=[10, 11])
+        assert rows[1].calibration_seconds == pytest.approx(
+            2 * rows[0].calibration_seconds
+        )

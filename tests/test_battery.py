@@ -1,0 +1,75 @@
+"""Tests for the battery-life estimator."""
+
+import pytest
+
+from repro.analysis.battery import (
+    BATTERY_WH,
+    BatteryLife,
+    life_table,
+    saving_to_extra_days,
+    standby_life,
+)
+from repro.errors import ConfigError
+
+
+class TestBatteryLife:
+    def test_hours_and_days(self):
+        life = standby_life(0.076, battery_wh=38.0)
+        assert life.hours == pytest.approx(500.0)
+        assert life.days == pytest.approx(500.0 / 24.0)
+
+    def test_extra_days(self):
+        baseline = standby_life(0.0744, 38.0)
+        odrips = standby_life(0.0581, 38.0)
+        assert odrips.extra_days_vs(baseline) > 5.0
+
+    def test_cross_battery_comparison_rejected(self):
+        with pytest.raises(ConfigError):
+            standby_life(0.1, 38.0).extra_days_vs(standby_life(0.1, 50.0))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            BatteryLife(0.0, 0.1)
+        with pytest.raises(ConfigError):
+            BatteryLife(38.0, 0.0)
+
+    def test_battery_classes_sane(self):
+        values = list(BATTERY_WH.values())
+        assert values == sorted(values)
+
+
+class TestLifeTable:
+    def test_rows_and_baseline_delta(self):
+        rows = life_table({"base": 0.080, "better": 0.060}, battery_wh=48.0)
+        assert rows[0][0] == "base"
+        assert rows[0][3] == pytest.approx(0.0)
+        assert rows[1][3] > 0
+
+    def test_explicit_baseline(self):
+        rows = life_table(
+            {"a": 0.060, "b": 0.080}, battery_wh=48.0, baseline_label="b"
+        )
+        by_label = {row[0]: row for row in rows}
+        assert by_label["a"][3] > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            life_table({})
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(ConfigError):
+            life_table({"a": 0.1}, baseline_label="missing")
+
+
+class TestSavingConversion:
+    def test_paper_headline_saving(self):
+        """The paper's 22% saving buys multiple standby days."""
+        extra = saving_to_extra_days(0.0744, 0.22, battery_wh=38.0)
+        assert 5.0 < extra < 7.0
+
+    def test_zero_saving_zero_days(self):
+        assert saving_to_extra_days(0.075, 0.0) == pytest.approx(0.0)
+
+    def test_invalid_saving_rejected(self):
+        with pytest.raises(ConfigError):
+            saving_to_extra_days(0.075, 1.0)

@@ -1,0 +1,156 @@
+"""Tests for the chipset: calibration, monitors, wake hub."""
+
+import pytest
+
+from repro.chipset.pch import Chipset
+from repro.chipset.wake_hub import WakeHub
+from repro.clocks.clock import DerivedClock
+from repro.clocks.crystal import CrystalOscillator
+from repro.config import DRIPSPowerBudget
+from repro.errors import FlowError
+from repro.io.wake import WakeEventType
+from repro.power.domain import PowerDomain
+from repro.sim.signals import Signal
+from repro.timers.dual_timer import TimerMode
+from repro.units import SECOND
+
+
+@pytest.fixture
+def chipset(kernel):
+    fast = CrystalOscillator("x24", 24e6, ppm_error=10.0)
+    slow = CrystalOscillator("x32", 32768.0, ppm_error=-5.0)
+    domain = PowerDomain("pch")
+    pch = Chipset(
+        kernel,
+        domain,
+        DerivedClock("fc", fast),
+        DerivedClock("sc", slow),
+        DRIPSPowerBudget(),
+        timer_frac_bits=21,
+        timer_int_bits=10,
+    )
+    return pch
+
+
+class TestCalibration:
+    def test_calibration_installs_step(self, chipset):
+        assert not chipset.calibrated
+        chipset.run_step_calibration()
+        assert chipset.calibrated
+        assert chipset.dual_timer.calibrated
+
+    def test_dual_timer_power_negligible(self, chipset):
+        """Sec. 4.2: 'less than 0.001% of the chipset power in DRIPS'."""
+        chipset.run_step_calibration()
+        budget = DRIPSPowerBudget()
+        chipset_total = budget.chipset_aon_w + budget.chipset_wake_monitor_w
+        assert chipset.dual_timer_component.power_watts / chipset_total < 1e-4
+
+
+class TestMonitorClocks:
+    def test_slow_monitoring_saves_power(self, chipset):
+        budget = DRIPSPowerBudget()
+        chipset.monitor_at_fast_clock()
+        fast_power = chipset.wake_monitor_component.power_watts
+        chipset.monitor_at_slow_clock()
+        slow_power = chipset.wake_monitor_component.power_watts
+        assert fast_power == pytest.approx(budget.chipset_wake_monitor_w)
+        assert slow_power < fast_power / 10
+
+    def test_proc_link_idle(self, chipset):
+        chipset.idle_proc_link()
+        assert chipset.proc_link_component.power_watts == 0.0
+        chipset.resume_proc_link()
+        assert chipset.proc_link_component.power_watts > 0.0
+
+
+class TestGPIOAllocations:
+    def test_two_spares_allocated(self, chipset):
+        allocations = chipset.gpios.allocations
+        assert allocations[chipset.thermal_gpio] == "ec-thermal-wake"
+        assert allocations[chipset.fet_gpio] == "aon-io-fet-gate"
+
+    def test_fet_drive(self, chipset):
+        chipset.drive_fet(False)
+        assert not chipset.gpios.read(chipset.fet_gpio)
+        chipset.drive_fet(True)
+        assert chipset.gpios.read(chipset.fet_gpio)
+
+
+class TestThermalOffload:
+    def test_thermal_line_wakes_hub(self, chipset, kernel):
+        chipset.run_step_calibration()
+        events = []
+        chipset.wake_hub.set_wake_callback(lambda e: events.append(e))
+        # put the hub in ownership (timer in slow mode first)
+        chipset.dual_timer.load_fast(kernel.now, 0)
+        edge = chipset.dual_timer.next_slow_edge(kernel.now)
+        kernel.advance_to(edge)
+        chipset.dual_timer.switch_to_slow(edge)
+        chipset.wake_hub.take_ownership(timer_target=None)
+        line = Signal("ec", initial=False)
+        chipset.attach_thermal_line(line)
+        chipset.arm_thermal_monitor()
+        kernel.schedule(1_000_000, lambda: line.set(True))
+        kernel.run()
+        assert len(events) == 1
+        assert events[0].event_type is WakeEventType.THERMAL
+
+    def test_arm_without_line_rejected(self, chipset):
+        chipset._thermal_monitor = None
+        with pytest.raises(FlowError):
+            chipset.arm_thermal_monitor()
+
+
+class TestWakeHub:
+    def make_hub(self, kernel, chipset):
+        chipset.run_step_calibration()
+        chipset.dual_timer.load_fast(kernel.now, 0)
+        edge = chipset.dual_timer.next_slow_edge(kernel.now)
+        kernel.advance_to(edge)
+        chipset.dual_timer.switch_to_slow(edge)
+        return chipset.wake_hub
+
+    def test_timer_deadline_fires(self, chipset, kernel):
+        hub = self.make_hub(kernel, chipset)
+        events = []
+        hub.set_wake_callback(lambda e: events.append(e))
+        target = chipset.dual_timer.read(kernel.now) + 24_000_000  # ~1 s
+        wake_ps = hub.take_ownership(target)
+        kernel.run()
+        assert len(events) == 1
+        assert events[0].event_type is WakeEventType.TIMER
+        assert events[0].time_ps == wake_ps
+        assert not hub.owning
+
+    def test_requires_slow_mode(self, chipset, kernel):
+        chipset.run_step_calibration()
+        chipset.dual_timer.load_fast(kernel.now, 0)
+        with pytest.raises(FlowError):
+            chipset.wake_hub.take_ownership(100)
+
+    def test_external_wake_cancels_timer(self, chipset, kernel):
+        hub = self.make_hub(kernel, chipset)
+        events = []
+        hub.set_wake_callback(lambda e: events.append(e))
+        target = chipset.dual_timer.read(kernel.now) + 24_000_000
+        hub.take_ownership(target)
+        hub.external_wake(WakeEventType.NETWORK, "packet")
+        kernel.run()
+        assert len(events) == 1
+        assert events[0].event_type is WakeEventType.NETWORK
+
+    def test_release_cancels_pending(self, chipset, kernel):
+        hub = self.make_hub(kernel, chipset)
+        events = []
+        hub.set_wake_callback(lambda e: events.append(e))
+        hub.take_ownership(chipset.dual_timer.read(kernel.now) + 24_000_000)
+        hub.release_ownership()
+        kernel.run()
+        assert events == []
+
+    def test_stale_external_wake_ignored(self, chipset, kernel):
+        hub = self.make_hub(kernel, chipset)
+        hub.set_wake_callback(lambda e: None)
+        hub.external_wake(WakeEventType.NETWORK)  # not owning: dropped
+        assert hub.history == []

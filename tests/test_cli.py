@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig1b"])
+        assert args.experiment == "fig1b"
+        assert args.cycles == 2
+
+    def test_cycles_option(self):
+        args = build_parser().parse_args(["fig2", "--cycles", "5"])
+        assert args.cycles == 5
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+
+class TestCommands:
+    def test_fig1b_prints_breakdown(self, capsys):
+        assert main(["fig1b"]) == 0
+        out = capsys.readouterr().out
+        assert "DRIPS power breakdown" in out
+        assert "S/R SRAMs" in out
+
+    def test_calibration_prints_sizing(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "fractional bits f" in out
+        assert "21" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Skylake" in out
+
+    def test_latency(self, capsys):
+        assert main(["latency"]) == 0
+        out = capsys.readouterr().out
+        assert "save" in out and "us" in out
+
+    def test_fig2_with_one_cycle(self, capsys):
+        assert main(["fig2", "--cycles", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "DRIPS residency" in out
+
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "S/R SRAM power" in out
+        assert "idle interval" in out
+
+    def test_temperature(self, capsys):
+        assert main(["temperature"]) == 0
+        out = capsys.readouterr().out
+        assert "30 C" in out
+        assert "DRIPS power" in out
+
+
+class TestExamplesCompile:
+    def test_every_example_compiles(self):
+        """Examples must at least be syntactically valid and importable
+        as sources (running them takes minutes; the APIs they use are
+        covered by the unit suite)."""
+        import pathlib
+        import py_compile
+
+        examples_dir = pathlib.Path(__file__).resolve().parent.parent / "examples"
+        examples = sorted(examples_dir.glob("*.py"))
+        assert len(examples) >= 8
+        for path in examples:
+            py_compile.compile(str(path), doraise=True)

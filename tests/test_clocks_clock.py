@@ -1,0 +1,113 @@
+"""Tests for derived clocks, clock gating, and the clock tree."""
+
+import pytest
+
+from repro.clocks.clock import DerivedClock, GateableClock
+from repro.clocks.crystal import CrystalOscillator
+from repro.clocks.tree import ClockBuffer, ClockTree
+from repro.errors import ClockError
+from repro.power.domain import PowerDomain
+
+
+class TestDerivedClock:
+    def test_divider_scales_period(self):
+        xtal = CrystalOscillator("x", 24e6)
+        divided = DerivedClock("half", xtal, divider=2)
+        assert divided.period_ps == 2 * xtal.period_ps
+        assert divided.effective_hz == pytest.approx(xtal.effective_hz / 2)
+
+    def test_divided_edges(self):
+        xtal = CrystalOscillator("x", 1e6)
+        divided = DerivedClock("div4", xtal, divider=4)
+        assert divided.next_edge(1) == 4_000_000
+        assert divided.edges_in(0, 9_000_000) == 3  # 0, 4us, 8us
+
+    def test_invalid_divider_rejected(self):
+        xtal = CrystalOscillator("x", 1e6)
+        with pytest.raises(ClockError):
+            DerivedClock("bad", xtal, divider=0)
+
+    def test_source_off_propagates(self):
+        xtal = CrystalOscillator("x", 1e6)
+        clock = DerivedClock("c", xtal)
+        xtal.disable(0)
+        assert not clock.available
+        with pytest.raises(ClockError):
+            clock.next_edge(100)
+
+
+class TestGateableClock:
+    def make(self, watts_per_hz=0.0, component=None):
+        xtal = CrystalOscillator("x", 1e6)
+        return xtal, GateableClock(
+            "g", DerivedClock("c", xtal), watts_per_hz=watts_per_hz, power_component=component
+        )
+
+    def test_gating_blocks_edges(self):
+        _xtal, clock = self.make()
+        clock.gate()
+        assert clock.gated
+        assert not clock.running
+        with pytest.raises(ClockError):
+            clock.next_edge(0)
+        assert clock.edges_in(0, 10**9) == 0
+
+    def test_ungate_restores(self):
+        _xtal, clock = self.make()
+        clock.gate()
+        clock.ungate()
+        assert clock.running
+        assert clock.next_edge(1) == 1_000_000
+
+    def test_power_scales_with_frequency(self):
+        domain = PowerDomain("d")
+        component = domain.new_component("clk")
+        _xtal, clock = self.make(watts_per_hz=1e-9, component=component)
+        assert component.power_watts == pytest.approx(1e-9 * 1e6)
+        clock.gate()
+        assert component.power_watts == 0.0
+
+    def test_power_zero_when_source_off(self):
+        domain = PowerDomain("d")
+        component = domain.new_component("clk")
+        xtal, clock = self.make(watts_per_hz=1e-9, component=component)
+        xtal.disable(0)
+        clock.refresh()
+        assert component.power_watts == 0.0
+
+
+class TestClockTree:
+    def test_buffer_power_tracks_crystal(self):
+        domain = PowerDomain("d")
+        xtal = CrystalOscillator("x", 24e6)
+        buffer = ClockBuffer("buf", xtal, domain, watts_per_hz=1e-11, static_watts=1e-4)
+        expected = 1e-11 * xtal.effective_hz + 1e-4
+        assert buffer.component.power_watts == pytest.approx(expected)
+        xtal.disable(0)
+        buffer.refresh()
+        assert buffer.component.power_watts == 0.0
+
+    def test_tree_bulk_disable(self):
+        domain = PowerDomain("d")
+        xtal = CrystalOscillator("x", 24e6)
+        tree = ClockTree("t")
+        tree.add(ClockBuffer("a", xtal, domain, watts_per_hz=1e-11))
+        tree.add(ClockBuffer("b", xtal, domain, watts_per_hz=1e-11))
+        assert tree.total_power() > 0
+        tree.disable_all()
+        assert tree.total_power() == 0.0
+        tree.enable_all()
+        assert tree.total_power() > 0
+
+    def test_duplicate_buffer_rejected(self):
+        domain = PowerDomain("d")
+        xtal = CrystalOscillator("x", 24e6)
+        tree = ClockTree("t")
+        tree.add(ClockBuffer("a", xtal, domain, watts_per_hz=0.0))
+        with pytest.raises(ClockError):
+            tree.add(ClockBuffer("a", xtal, domain, watts_per_hz=0.0))
+
+    def test_unknown_buffer_lookup_rejected(self):
+        tree = ClockTree("t")
+        with pytest.raises(ClockError):
+            tree.buffer("missing")

@@ -1,0 +1,122 @@
+"""Tests for crystal oscillators and the integer edge grid."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks.crystal import CrystalOscillator
+from repro.errors import ClockError
+from repro.power.domain import PowerDomain
+from repro.units import PICOSECONDS_PER_SECOND
+
+
+class TestEdgeGrid:
+    def test_period_of_24mhz(self):
+        xtal = CrystalOscillator("x", 24e6)
+        assert xtal.period_ps == round(PICOSECONDS_PER_SECOND / 24e6)
+
+    def test_effective_frequency_matches_period(self):
+        xtal = CrystalOscillator("x", 32768.0)
+        assert xtal.effective_hz == pytest.approx(PICOSECONDS_PER_SECOND / xtal.period_ps)
+
+    def test_ppm_error_shifts_period(self):
+        nominal = CrystalOscillator("x", 24e6, ppm_error=0.0)
+        fast = CrystalOscillator("x", 24e6, ppm_error=100.0)
+        assert fast.period_ps < nominal.period_ps
+
+    def test_next_edge_on_grid(self):
+        xtal = CrystalOscillator("x", 1e6)  # 1 us period
+        assert xtal.next_edge(0) == 0
+        assert xtal.next_edge(1) == 1_000_000
+        assert xtal.next_edge(1_000_000) == 1_000_000
+        assert xtal.next_edge(1_000_001) == 2_000_000
+
+    def test_previous_edge(self):
+        xtal = CrystalOscillator("x", 1e6)
+        assert xtal.previous_edge(1_500_000) == 1_000_000
+        assert xtal.previous_edge(2_000_000) == 2_000_000
+
+    def test_edges_in_half_open_interval(self):
+        xtal = CrystalOscillator("x", 1e6)
+        assert xtal.edges_in(0, 3_000_000) == 3  # edges at 0, 1us, 2us
+        assert xtal.edges_in(0, 3_000_001) == 4
+        assert xtal.edges_in(500, 400) == 0
+
+    def test_edge_number(self):
+        xtal = CrystalOscillator("x", 1e6)
+        assert xtal.edge_number(0) == 0
+        assert xtal.edge_number(2_500_000) == 2
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ClockError):
+            CrystalOscillator("x", 0.0)
+        with pytest.raises(ClockError):
+            CrystalOscillator("x", -5.0)
+
+
+class TestEnableDisable:
+    def test_disabled_crystal_has_no_edges(self):
+        xtal = CrystalOscillator("x", 1e6)
+        xtal.disable(now_ps=100)
+        with pytest.raises(ClockError):
+            xtal.next_edge(200)
+
+    def test_reenable_anchors_after_startup(self):
+        xtal = CrystalOscillator("x", 1e6, startup_time_ps=5_000_000)
+        xtal.disable(0)
+        xtal.enable(10_000_000)
+        assert xtal.anchor_ps == 15_000_000
+        assert xtal.next_edge(10_000_000) == 15_000_000
+
+    def test_query_during_startup_rejected(self):
+        xtal = CrystalOscillator("x", 1e6, startup_time_ps=5_000_000)
+        xtal.disable(0)
+        xtal.enable(0)
+        with pytest.raises(ClockError):
+            xtal.previous_edge(1_000_000)
+
+    def test_power_component_follows_state(self):
+        domain = PowerDomain("d")
+        component = domain.new_component("xtal")
+        xtal = CrystalOscillator("x", 1e6, power_watts=0.002, power_component=component)
+        assert component.power_watts == pytest.approx(0.002)
+        xtal.disable(0)
+        assert component.power_watts == 0.0
+        xtal.enable(100)
+        assert component.power_watts == pytest.approx(0.002)
+
+    def test_enable_disable_idempotent(self):
+        xtal = CrystalOscillator("x", 1e6)
+        xtal.enable(0)  # already enabled: no-op
+        assert xtal.enable_count == 0
+        xtal.disable(10)
+        xtal.disable(20)
+        assert xtal.disable_count == 1
+
+
+class TestEdgeCountProperties:
+    @given(
+        start=st.integers(min_value=0, max_value=10**10),
+        span=st.integers(min_value=0, max_value=10**10),
+        freq=st.sampled_from([32768.0, 1e6, 24e6]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_edge_count_additivity(self, start, span, freq):
+        """edges[a,c) == edges[a,b) + edges[b,c)."""
+        xtal = CrystalOscillator("x", freq)
+        mid = start + span // 2
+        end = start + span
+        assert xtal.edges_in(start, end) == xtal.edges_in(start, mid) + xtal.edges_in(mid, end)
+
+    @given(
+        start=st.integers(min_value=0, max_value=10**10),
+        span=st.integers(min_value=1, max_value=10**10),
+        freq=st.sampled_from([32768.0, 24e6]),
+        ppm=st.floats(min_value=-200, max_value=200),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_edge_count_matches_span_frequency(self, start, span, freq, ppm):
+        """The count over [start, start+span) is within 1 of span/period."""
+        xtal = CrystalOscillator("x", freq, ppm_error=ppm)
+        count = xtal.edges_in(start, start + span)
+        expected = span / xtal.period_ps
+        assert abs(count - expected) <= 1.0

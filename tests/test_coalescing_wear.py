@@ -1,0 +1,130 @@
+"""Tests for interrupt coalescing and PCM wear leveling."""
+
+import pytest
+
+from repro.analysis.coalescing import (
+    coalesced_wake_rate,
+    coalescing_sweep,
+    wake_round_trip_energy_j,
+    window_for_power_budget,
+)
+from repro.errors import ConfigError, MemoryFault
+from repro.memory.wear_leveling import (
+    RotatingContextAllocator,
+    years_to_wearout,
+)
+
+
+class TestCoalescedWakeRate:
+    def test_no_window_means_one_wake_per_arrival(self):
+        assert coalesced_wake_rate(2.0, 0.0) == pytest.approx(2.0)
+
+    def test_window_absorbs_followers(self):
+        assert coalesced_wake_rate(1.0, 1.0) == pytest.approx(0.5)
+        assert coalesced_wake_rate(1.0, 9.0) == pytest.approx(0.1)
+
+    def test_zero_arrivals_never_wake(self):
+        assert coalesced_wake_rate(0.0, 5.0) == 0.0
+
+    def test_monotonic_in_window(self):
+        rates = [coalesced_wake_rate(1.0, w) for w in (0.0, 0.1, 1.0, 10.0)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            coalesced_wake_rate(-1.0, 0.0)
+        with pytest.raises(ConfigError):
+            coalesced_wake_rate(1.0, -1.0)
+
+
+class TestCoalescingSweep:
+    def test_power_falls_with_window(self):
+        points = coalescing_sweep(arrival_rate_hz=1.0)
+        powers = [point.average_power_w for point in points]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_wide_window_approaches_drips_floor(self):
+        points = coalescing_sweep(arrival_rate_hz=1.0)
+        assert points[-1].average_power_w < 0.062  # near the 60 mW floor
+
+    def test_chatty_stream_without_coalescing_is_expensive(self):
+        """1 wake/s costs ~15 mW extra — a quarter of the whole DRIPS
+        budget burned on wake round trips."""
+        points = coalescing_sweep(arrival_rate_hz=1.0)
+        assert points[0].average_power_w > 0.070
+
+    def test_round_trip_energy_positive(self):
+        energy = wake_round_trip_energy_j()
+        # dominated by the ~5 ms handling burst at ~3 W (~15 mJ)
+        assert 10e-3 < energy < 20e-3
+
+    def test_latency_budget_equals_window(self):
+        points = coalescing_sweep(arrival_rate_hz=1.0, windows_s=(0.2,))
+        assert points[0].worst_case_latency_s == pytest.approx(0.2)
+
+
+class TestWindowForBudget:
+    def test_budget_below_floor_rejected(self):
+        with pytest.raises(ConfigError):
+            window_for_power_budget(1.0, power_budget_w=0.010)
+
+    def test_quiet_stream_needs_no_window(self):
+        assert window_for_power_budget(0.001, power_budget_w=0.075) == 0.0
+
+    def test_window_meets_budget(self):
+        budget = 0.075
+        window = window_for_power_budget(1.0, power_budget_w=budget)
+        assert window > 0
+        rate = coalesced_wake_rate(1.0, window)
+        achieved = 0.060 + rate * wake_round_trip_energy_j()
+        assert achieved == pytest.approx(budget, rel=1e-6)
+
+
+class TestWearLeveling:
+    def test_round_robin_is_perfectly_level(self):
+        allocator = RotatingContextAllocator(10 * 64, 64)
+        for _ in range(30):
+            allocator.allocate()
+        assert allocator.wear_ratio() == pytest.approx(1.0)
+        assert allocator.max_slot_writes == 3
+
+    def test_offsets_are_block_aligned_and_disjoint(self):
+        allocator = RotatingContextAllocator(64 * (1 << 20), 200 * 1024)
+        offsets = {allocator.allocate() for _ in range(allocator.slots)}
+        assert len(offsets) == allocator.slots
+        assert all(offset % 64 == 0 for offset in offsets)
+
+    def test_endurance_check(self):
+        allocator = RotatingContextAllocator(2 * 64, 64)
+        for _ in range(6):
+            allocator.allocate()
+        allocator.check_endurance(3)
+        with pytest.raises(MemoryFault):
+            allocator.check_endurance(2)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            RotatingContextAllocator(63, 64)
+        with pytest.raises(ConfigError):
+            RotatingContextAllocator(1024, 0)
+
+
+class TestWearout:
+    def test_rotation_makes_pcm_effectively_immortal(self):
+        """200 KB context rotating through 64 MB at one save per 30 s:
+        wearout far beyond the device lifetime."""
+        estimate = years_to_wearout(64 * (1 << 20), 200 * 1024)
+        assert estimate.slots >= 320
+        assert estimate.years > 10_000
+
+    def test_no_rotation_is_still_survivable_but_close(self):
+        """A single fixed slot takes all 2880 writes/day: ~95 years at
+        1e8 endurance — fine, but one order of magnitude from trouble."""
+        estimate = years_to_wearout(200 * 1024, 200 * 1024)
+        assert estimate.slots == 1
+        assert 50 < estimate.years < 200
+
+    def test_chattier_standby_wears_faster(self):
+        slow = years_to_wearout(64 * (1 << 20), 200 * 1024, idle_interval_s=30.0)
+        fast = years_to_wearout(64 * (1 << 20), 200 * 1024, idle_interval_s=3.0)
+        assert fast.years < slow.years

@@ -1,0 +1,75 @@
+"""Tests for technique-set validation and labeling."""
+
+import pytest
+
+from repro.core.techniques import ContextStore, Technique, TechniqueSet
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_baseline_is_empty(self):
+        techniques = TechniqueSet.baseline()
+        assert techniques.is_baseline
+        assert not techniques.wake_up_off
+        assert techniques.context_store is ContextStore.PROCESSOR_SRAM
+
+    def test_io_gate_requires_wake_up_off(self):
+        """Sec. 8 footnote 4: gating the IOs needs the chipset to own
+        the wake events first."""
+        with pytest.raises(ConfigError):
+            TechniqueSet({Technique.AON_IO_GATE})
+
+    def test_ctx_store_requires_ctx_technique(self):
+        with pytest.raises(ConfigError):
+            TechniqueSet(set(), ContextStore.DRAM_SGX)
+        with pytest.raises(ConfigError):
+            TechniqueSet(set(), ContextStore.PCM)
+
+    def test_ctx_technique_requires_moved_store(self):
+        with pytest.raises(ConfigError):
+            TechniqueSet({Technique.CTX_SGX_DRAM}, ContextStore.PROCESSOR_SRAM)
+
+    def test_full_odrips_with_processor_sram_rejected(self):
+        with pytest.raises(ConfigError):
+            TechniqueSet.odrips(ContextStore.PROCESSOR_SRAM)
+
+    def test_membership(self):
+        techniques = TechniqueSet.with_io_gating()
+        assert Technique.WAKE_UP_OFF in techniques
+        assert Technique.AON_IO_GATE in techniques
+        assert Technique.CTX_SGX_DRAM not in techniques
+
+
+class TestLabels:
+    @pytest.mark.parametrize(
+        "factory,expected",
+        [
+            (TechniqueSet.baseline, "Baseline (DRIPS)"),
+            (TechniqueSet.wake_up_off_only, "WAKE-UP-OFF"),
+            (TechniqueSet.with_io_gating, "AON-IO-GATE"),
+            (TechniqueSet.ctx_sgx_dram_only, "CTX-SGX-DRAM"),
+            (TechniqueSet.odrips, "ODRIPS"),
+            (TechniqueSet.odrips_mram, "ODRIPS-MRAM"),
+            (TechniqueSet.odrips_pcm, "ODRIPS-PCM"),
+        ],
+    )
+    def test_paper_labels(self, factory, expected):
+        assert factory().label() == expected
+
+    def test_full_odrips_flag(self):
+        assert TechniqueSet.odrips().is_full_odrips
+        assert not TechniqueSet.with_io_gating().is_full_odrips
+
+
+class TestContextStoreProperties:
+    def test_off_chip_stores(self):
+        assert ContextStore.DRAM_SGX.off_chip
+        assert ContextStore.PCM.off_chip
+        assert ContextStore.CHIPSET_SRAM.off_chip
+        assert not ContextStore.PROCESSOR_SRAM.off_chip
+        assert not ContextStore.EMRAM.off_chip
+
+    def test_non_volatile_stores(self):
+        assert ContextStore.EMRAM.non_volatile
+        assert ContextStore.PCM.non_volatile
+        assert not ContextStore.DRAM_SGX.non_volatile

@@ -1,0 +1,94 @@
+"""Determinism: identical configurations produce bit-identical runs.
+
+A reproduction's results must be exactly re-derivable: no hidden clocks,
+no unseeded randomness, no dict-ordering dependence.  Two independent
+platforms built from the same inputs must agree on every trace sample.
+"""
+
+import pytest
+
+from repro.core.odrips import ODRIPSController
+from repro.core.techniques import TechniqueSet
+from repro.workloads.standby import ConnectedStandbyRunner
+from repro.workloads.traces import TraceDrivenRunner, chatty_night_trace
+
+from _platform import build_platform
+
+
+def run_standby(techniques, **kwargs):
+    platform = build_platform(techniques, small_context=True)
+    runner = ConnectedStandbyRunner(platform, **kwargs)
+    result = runner.run(cycles=2)
+    return platform, result
+
+
+class TestRunDeterminism:
+    @pytest.mark.parametrize(
+        "techniques",
+        [TechniqueSet.baseline(), TechniqueSet.odrips(), TechniqueSet.odrips_pcm()],
+        ids=lambda t: t.label(),
+    )
+    def test_identical_average_power(self, techniques):
+        _p1, first = run_standby(techniques, idle_interval_s=0.5, maintenance_s=0.03)
+        _p2, second = run_standby(techniques, idle_interval_s=0.5, maintenance_s=0.03)
+        assert first.average_power_w == second.average_power_w  # exact, no approx
+
+    def test_identical_wake_times(self):
+        p1, first = run_standby(TechniqueSet.odrips(), idle_interval_s=0.5,
+                                maintenance_s=0.03)
+        p2, second = run_standby(TechniqueSet.odrips(), idle_interval_s=0.5,
+                                 maintenance_s=0.03)
+        assert [e.time_ps for e in p1.wake_log] == [e.time_ps for e in p2.wake_log]
+
+    def test_identical_power_traces(self):
+        p1, _ = run_standby(TechniqueSet.odrips(), idle_interval_s=0.3,
+                            maintenance_s=0.02)
+        p2, _ = run_standby(TechniqueSet.odrips(), idle_interval_s=0.3,
+                            maintenance_s=0.02)
+        samples_a = [(s.time_ps, s.value) for s in p1.trace.samples("platform")]
+        samples_b = [(s.time_ps, s.value) for s in p2.trace.samples("platform")]
+        assert samples_a == samples_b
+
+    def test_identical_flow_latencies(self):
+        p1, first = run_standby(TechniqueSet.ctx_sgx_dram_only(),
+                                idle_interval_s=0.3, maintenance_s=0.02)
+        p2, second = run_standby(TechniqueSet.ctx_sgx_dram_only(),
+                                 idle_interval_s=0.3, maintenance_s=0.02)
+        assert first.entry_latencies_ps == second.entry_latencies_ps
+        assert first.exit_latencies_ps == second.exit_latencies_ps
+
+    def test_trace_replay_is_deterministic(self):
+        trace = chatty_night_trace(duration_s=95.0, seed=3)
+        results = []
+        for _ in range(2):
+            platform = build_platform(TechniqueSet.odrips(), small_context=True)
+            results.append(TraceDrivenRunner(platform, trace).run())
+        assert results[0].average_power_w == results[1].average_power_w
+        assert results[0].wake_events == results[1].wake_events
+
+    def test_seeded_randomization_is_deterministic(self):
+        from repro.config import StandbyWorkloadConfig
+
+        outcomes = []
+        for _ in range(2):
+            platform = build_platform(TechniqueSet.baseline(), small_context=True)
+            runner = ConnectedStandbyRunner(
+                platform,
+                workload=StandbyWorkloadConfig(seed=17),
+                idle_interval_s=0.4,
+                randomize_maintenance=True,
+                external_wakes=True,
+            )
+            outcomes.append(runner.run(cycles=2).average_power_w)
+        assert outcomes[0] == outcomes[1]
+
+    def test_mee_ciphertext_is_deterministic(self):
+        """Same key, same context generation, same version counters ->
+        the same ciphertext lands in DRAM on both platforms."""
+        p1, _ = run_standby(TechniqueSet.odrips(), idle_interval_s=0.3,
+                            maintenance_s=0.02)
+        p2, _ = run_standby(TechniqueSet.odrips(), idle_interval_s=0.3,
+                            maintenance_s=0.02)
+        base = p1.context_region.base
+        assert p1.board.memory._store.read(base, 256) == \
+            p2.board.memory._store.read(base, 256)

@@ -1,0 +1,131 @@
+"""Paper-vs-measured checks for the experiment drivers.
+
+These are the headline reproduction assertions: each figure's measured
+numbers must land within a stated tolerance of the paper's published
+numbers.  Tolerances are deliberately loose enough to absorb simulation
+phase noise but tight enough that a broken technique fails loudly.
+"""
+
+import pytest
+
+from repro.core.experiments import (
+    fig1b_breakdown,
+    fig2_connected_standby,
+    fig6a_techniques,
+    fig6b_core_frequency,
+    fig6c_dram_frequency,
+    fig6d_emerging_memories,
+    sec413_calibration,
+    sec63_context_latency,
+    table1_parameters,
+)
+
+
+class TestFig1b:
+    def test_shares_match_paper(self):
+        result = fig1b_breakdown()
+        assert result.platform_drips_mw == pytest.approx(60.0, abs=0.5)
+        assert result.wakeup_and_crystal == pytest.approx(0.05, abs=0.01)
+        assert result.shares["aon_ios"] == pytest.approx(0.07, abs=0.01)
+        assert result.shares["sr_srams"] == pytest.approx(0.09, abs=0.01)
+        assert result.processor_total == pytest.approx(0.18, abs=0.01)
+
+    def test_shares_are_fractions(self):
+        result = fig1b_breakdown()
+        assert sum(result.shares.values()) == pytest.approx(1.0)
+
+
+class TestFig2:
+    def test_connected_standby_picture(self):
+        result = fig2_connected_standby(cycles=1)
+        assert result.drips_power_mw == pytest.approx(60.0, abs=1.0)
+        assert result.active_power_w == pytest.approx(3.0, abs=0.2)
+        assert result.drips_residency == pytest.approx(0.995, abs=0.002)
+        assert 70.0 < result.average_power_mw < 80.0
+
+
+class TestFig6a:
+    def test_savings_match_paper(self):
+        result = fig6a_techniques(cycles=1)
+        for row in result.rows:
+            assert row.saving == pytest.approx(row.paper_saving, abs=0.015), row.label
+
+    def test_odrips_is_best(self):
+        result = fig6a_techniques(cycles=1)
+        savings = {row.label: row.saving for row in result.rows}
+        assert savings["ODRIPS"] == max(savings.values())
+
+    def test_io_gating_builds_on_wake_up_off(self):
+        result = fig6a_techniques(cycles=1)
+        savings = {row.label: row.saving for row in result.rows}
+        assert savings["AON-IO-GATE"] > savings["WAKE-UP-OFF"]
+
+
+class TestFig6b:
+    def test_frequency_sweep_shape(self):
+        rows = fig6b_core_frequency(cycles=1)
+        deltas = {row.parameter: row.delta_vs_reference for row in rows}
+        # 1.0 GHz saves a little, 1.5 GHz costs a little (Fig. 6(b))
+        assert -0.025 < deltas[1.0] < -0.005
+        assert 0.004 < deltas[1.5] < 0.025
+
+    def test_optimum_between_08_and_15(self):
+        """Paper conclusion: the best frequency is strictly inside the
+        sweep range."""
+        rows = fig6b_core_frequency(frequencies_ghz=(0.8, 1.0, 1.5), cycles=1)
+        powers = [row.average_power_mw for row in rows]
+        assert powers[1] < powers[0]
+        assert powers[2] > powers[1]
+
+
+class TestFig6c:
+    def test_dram_sweep_shape(self):
+        rows = fig6c_dram_frequency(cycles=1)
+        deltas = {row.parameter: row.delta_vs_reference for row in rows}
+        assert -0.009 < deltas[1.067e9] < -0.001
+        assert -0.012 < deltas[0.8e9] < -0.004
+        assert deltas[0.8e9] < deltas[1.067e9]
+
+
+class TestFig6d:
+    def test_emerging_memory_savings(self):
+        rows = fig6d_emerging_memories(cycles=1)
+        savings = {row.label: row.saving_vs_baseline for row in rows}
+        assert savings["ODRIPS-PCM"] == pytest.approx(0.37, abs=0.025)
+        # MRAM at worst equal to ODRIPS, never worse
+        assert savings["ODRIPS-MRAM"] >= savings["ODRIPS"] - 0.002
+
+    def test_pcm_is_best_overall(self):
+        rows = fig6d_emerging_memories(cycles=1)
+        best = max(rows, key=lambda row: row.saving_vs_baseline)
+        assert best.label == "ODRIPS-PCM"
+
+
+class TestSec63:
+    def test_context_latency_scale(self):
+        result = sec63_context_latency()
+        assert result.save_us == pytest.approx(18.0, rel=0.25)
+        assert result.restore_us == pytest.approx(13.0, rel=0.35)
+        assert result.save_us > result.restore_us
+
+    def test_region_fraction_below_paper_bound(self):
+        """Sec. 6.3: 200 KB is <0.3% of the 64 MB SGX region."""
+        result = sec63_context_latency()
+        assert result.sgx_region_fraction < 0.0032
+
+
+class TestSec413:
+    def test_register_sizing(self):
+        result = sec413_calibration()
+        assert result.integer_bits == result.paper_integer_bits == 10
+        assert result.fractional_bits == result.paper_fractional_bits == 21
+        assert result.worst_case_drift_ppb < 1.0
+
+
+class TestTable1:
+    def test_rows_present(self):
+        rows = table1_parameters()
+        assert "Skylake" in rows["Processor (target)"][0]
+        assert "Haswell" in rows["Processor (baseline)"][0]
+        assert rows["TDP"][0] == "15 W"
+        assert "DDR3L" in rows["Memory"][0]

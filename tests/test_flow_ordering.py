@@ -1,0 +1,78 @@
+"""Tests asserting the flows execute the paper's steps in order.
+
+Sec. 2.2 fixes the entry order: (1) LLC flush, (2) compute VRs off,
+(3) context save, (4) DRAM self-refresh, (5) clock shutdown, (6) VR/PMU
+gating; the ODRIPS additions slot in at steps (5) and (6).  The flow
+trace channel records each step as it starts.
+"""
+
+import pytest
+
+from repro.core.techniques import TechniqueSet
+from repro.system.flows import FlowController
+from repro.system.states import FLOW_CHANNEL
+
+from _platform import build_platform
+
+
+def run_cycle(techniques):
+    platform = build_platform(techniques, small_context=True)
+    flows = FlowController(platform)
+    platform.boot()
+    platform.pmu.schedule_timer_event(platform.next_timer_target(0.05))
+    flows.request_drips()
+    platform.kernel.run(max_events=100_000)
+    return [sample.value for sample in platform.trace.samples(FLOW_CHANNEL)]
+
+
+class TestEntryOrdering:
+    def test_baseline_follows_sec22_order(self):
+        steps = run_cycle(TechniqueSet.baseline())
+        entry = [step for step in steps if step.startswith("entry:")]
+        assert entry == [
+            "entry:compute-quiesce",
+            "entry:llc-flush",
+            "entry:context-save",
+            "entry:dram-self-refresh",
+            "entry:clock-shutdown",
+            "entry:drips",
+        ]
+
+    def test_odrips_inserts_io_handoff_after_clock_shutdown(self):
+        steps = run_cycle(TechniqueSet.odrips())
+        entry = [step for step in steps if step.startswith("entry:")]
+        assert entry.index("entry:clock-shutdown") < entry.index("entry:io-handoff")
+        assert entry.index("entry:io-handoff") < entry.index("entry:drips")
+
+    def test_context_saved_before_self_refresh(self):
+        """The context write needs an accessible DRAM: step (3) must
+        precede step (4)."""
+        steps = run_cycle(TechniqueSet.odrips())
+        entry = [step for step in steps if step.startswith("entry:")]
+        assert entry.index("entry:context-save") < entry.index("entry:dram-self-refresh")
+
+
+class TestExitOrdering:
+    def test_baseline_exit_order(self):
+        steps = run_cycle(TechniqueSet.baseline())
+        exits = [step for step in steps if step.startswith("exit:")]
+        assert exits == [
+            "exit:wake",
+            "exit:context-restore",
+            "exit:vr-ramp",
+            "exit:active",
+        ]
+
+    def test_odrips_exit_restores_clock_before_ios_before_context(self):
+        """Sec. 6.2 exit: the fast clock and the engines must come back
+        before anything can read the context from DRAM."""
+        steps = run_cycle(TechniqueSet.odrips())
+        exits = [step for step in steps if step.startswith("exit:")]
+        assert exits.index("exit:xtal-restart") < exits.index("exit:io-restore")
+        assert exits.index("exit:io-restore") < exits.index("exit:context-restore")
+        assert exits[-1] == "exit:active"
+
+    def test_every_cycle_reaches_active(self):
+        for techniques in [TechniqueSet.baseline(), TechniqueSet.odrips_pcm()]:
+            steps = run_cycle(techniques)
+            assert steps[-1] == "exit:active"

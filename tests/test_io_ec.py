@@ -1,0 +1,49 @@
+"""Tests for the embedded controller's thermal model."""
+
+import pytest
+
+from repro.io.ec import EmbeddedController
+from repro.units import SECOND
+
+
+class TestThermalModel:
+    def test_starts_at_ambient(self, kernel):
+        ec = EmbeddedController(kernel, ambient_celsius=30.0)
+        assert ec.temperature_celsius == pytest.approx(30.0)
+
+    def test_settles_toward_power_target(self, kernel):
+        ec = EmbeddedController(kernel, ambient_celsius=30.0, celsius_per_watt=8.0,
+                                time_constant_s=10.0)
+        ec.observe_power(0, 1.0)  # 1 W -> target 38 C
+        ec.observe_power(100 * SECOND, 1.0)
+        assert ec.temperature_celsius == pytest.approx(38.0, abs=0.1)
+
+    def test_idle_platform_stays_cool(self, kernel):
+        ec = EmbeddedController(kernel, trip_celsius=45.0)
+        ec.observe_power(0, 0.060)  # DRIPS-level power
+        ec.observe_power(1000 * SECOND, 0.060)
+        assert ec.temperature_celsius < 32.0
+        assert ec.trip_count == 0
+
+    def test_trip_on_sustained_load(self, kernel):
+        ec = EmbeddedController(kernel, trip_celsius=45.0, celsius_per_watt=8.0)
+        ec.observe_power(0, 3.0)  # target 54 C
+        ec.observe_power(200 * SECOND, 3.0)
+        assert ec.trip_count == 1
+        assert bool(ec.thermal_line)
+
+    def test_hysteresis_on_cooldown(self, kernel):
+        ec = EmbeddedController(kernel, trip_celsius=45.0, celsius_per_watt=8.0,
+                                time_constant_s=10.0)
+        ec.observe_power(0, 3.0)
+        ec.observe_power(200 * SECOND, 0.06)  # tripped, now cooling
+        assert bool(ec.thermal_line)
+        ec.observe_power(400 * SECOND, 0.06)
+        assert not bool(ec.thermal_line)  # dropped below trip - 2 C
+
+    def test_force_thermal_event(self, kernel):
+        ec = EmbeddedController(kernel)
+        ec.force_thermal_event()
+        assert bool(ec.thermal_line)
+        ec.clear()
+        assert not bool(ec.thermal_line)

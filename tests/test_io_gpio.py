@@ -1,0 +1,99 @@
+"""Tests for chipset GPIOs and the 32 kHz input monitor."""
+
+import pytest
+
+from repro.errors import IOError_
+from repro.io.gpio import GPIOController, GPIOMonitor
+from repro.sim.signals import Signal
+
+
+class TestAllocation:
+    def test_spare_allocation(self):
+        gpios = GPIOController("g", total=64, reserved=48)
+        assert gpios.spare_available == 16
+        index = gpios.allocate_spare("thermal")
+        assert index == 48
+        assert gpios.allocation(index) == "thermal"
+        assert gpios.spare_available == 15
+
+    def test_two_spares_for_the_paper(self):
+        """Sec. 5.3: 'We use two of these spare GPIOs'."""
+        gpios = GPIOController("g")
+        thermal = gpios.allocate_spare("ec-thermal-wake")
+        fet = gpios.allocate_spare("fet-gate")
+        assert thermal != fet
+        assert len(gpios.allocations) == 2
+
+    def test_exhaustion_rejected(self):
+        gpios = GPIOController("g", total=2, reserved=1)
+        gpios.allocate_spare("a")
+        with pytest.raises(IOError_):
+            gpios.allocate_spare("b")
+
+    def test_reserved_beyond_total_rejected(self):
+        with pytest.raises(IOError_):
+            GPIOController("g", total=4, reserved=8)
+
+    def test_drive_and_read(self):
+        gpios = GPIOController("g")
+        gpios.drive(3, True)
+        assert gpios.read(3)
+        gpios.drive(3, False)
+        assert not gpios.read(3)
+
+    def test_out_of_range_index_rejected(self):
+        gpios = GPIOController("g", total=4, reserved=2)
+        with pytest.raises(IOError_):
+            gpios.drive(4, True)
+
+
+class TestMonitor:
+    def make(self, kernel, slow_clock):
+        line = Signal("thermal", initial=False)
+        fired = []
+        monitor = GPIOMonitor(kernel, slow_clock, line, lambda: fired.append(kernel.now))
+        return line, fired, monitor
+
+    def test_detection_on_next_slow_edge(self, kernel, slow_clock):
+        line, fired, monitor = self.make(kernel, slow_clock)
+        monitor.arm()
+        raise_at = 100_000_000  # between slow edges
+        kernel.schedule(raise_at, lambda: line.set(True))
+        kernel.run()
+        assert len(fired) == 1
+        assert fired[0] == slow_clock.next_edge(raise_at)
+
+    def test_detection_latency_bounded_by_slow_period(self, kernel, slow_clock):
+        """Sec. 5.2: monitoring at 32 kHz costs at most one slow period of
+        wake latency (~30.5 us)."""
+        line, _fired, monitor = self.make(kernel, slow_clock)
+        monitor.arm()
+        kernel.schedule(77_777_777, lambda: line.set(True))
+        kernel.run()
+        assert monitor.detections == 1
+        assert monitor.detection_latencies_ps[0] <= slow_clock.period_ps
+
+    def test_disarmed_monitor_ignores(self, kernel, slow_clock):
+        line, fired, monitor = self.make(kernel, slow_clock)
+        kernel.schedule(100, lambda: line.set(True))
+        kernel.run()
+        assert fired == []
+
+    def test_glitch_shorter_than_sample_missed(self, kernel, slow_clock):
+        """A pulse that rises and falls between slow edges is not seen —
+        the physical consequence of slow sampling."""
+        line, fired, monitor = self.make(kernel, slow_clock)
+        monitor.arm()
+        edge = slow_clock.next_edge(1)
+        kernel.schedule(edge + 100, lambda: line.set(True))
+        kernel.schedule(edge + 200, lambda: line.set(False))
+        kernel.run()
+        assert fired == []
+
+    def test_disarm_cancels_pending_sample(self, kernel, slow_clock):
+        line, fired, monitor = self.make(kernel, slow_clock)
+        monitor.arm()
+        kernel.schedule(100, lambda: line.set(True))
+        kernel.schedule(200, monitor.disarm)
+        kernel.run()
+        assert fired == []

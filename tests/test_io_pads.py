@@ -1,0 +1,69 @@
+"""Tests for AON IO pads and the bank."""
+
+import pytest
+
+from repro.errors import IOError_
+from repro.io.pads import AONIOBank
+from repro.power.domain import PowerDomain
+from repro.power.gates import BoardFETGate
+
+
+def make_bank():
+    gate = BoardFETGate("fet")
+    domain = PowerDomain("aon_io", gate)
+    bank = AONIOBank(domain)
+    bank.add_pad("pml_tx", leakage_watts=0.0007, toggle_watts=0.0002)
+    bank.add_pad("thermal", leakage_watts=0.0005, wake_capable=True)
+    return gate, domain, bank
+
+
+class TestPads:
+    def test_total_power_sums_pads(self):
+        _gate, _domain, bank = make_bank()
+        assert bank.total_power_watts() == pytest.approx(0.0012)
+
+    def test_toggling_adds_dynamic_power(self):
+        _gate, _domain, bank = make_bank()
+        pad = bank.pad("pml_tx")
+        pad.start_toggling()
+        assert bank.total_power_watts() == pytest.approx(0.0014)
+        pad.stop_toggling()
+        assert bank.total_power_watts() == pytest.approx(0.0012)
+
+    def test_duplicate_pad_rejected(self):
+        _gate, _domain, bank = make_bank()
+        with pytest.raises(IOError_):
+            bank.add_pad("pml_tx", 0.001)
+
+    def test_unknown_pad_rejected(self):
+        _gate, _domain, bank = make_bank()
+        with pytest.raises(IOError_):
+            bank.pad("nope")
+
+    def test_wake_capability_flag(self):
+        _gate, _domain, bank = make_bank()
+        assert bank.pad("thermal").wake_capable
+        assert not bank.pad("pml_tx").wake_capable
+
+
+class TestGating:
+    def test_gated_bank_pads_unusable(self):
+        _gate, domain, bank = make_bank()
+        domain.power_off()
+        assert bank.gated
+        with pytest.raises(IOError_):
+            bank.pad("pml_tx").require_usable()
+
+    def test_gated_bank_load_is_fet_leakage(self):
+        gate, domain, bank = make_bank()
+        domain.power_off()
+        assert domain.load_watts() == pytest.approx(
+            bank.total_power_watts() * gate.leakage_fraction
+        )
+
+    def test_quiesce_stops_all_toggling(self):
+        _gate, _domain, bank = make_bank()
+        for pad in bank.pads:
+            pad.start_toggling()
+        bank.quiesce()
+        assert all(not pad.toggling for pad in bank.pads)

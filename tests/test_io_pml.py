@@ -1,0 +1,85 @@
+"""Tests for the power-management link (PML)."""
+
+import pytest
+
+from repro.errors import IOError_
+from repro.io.pads import AONIOBank
+from repro.io.pml import PMLChannel, PMLLink, PMLMessage
+from repro.power.domain import PowerDomain
+from repro.power.gates import BoardFETGate
+
+
+@pytest.fixture
+def link(kernel, fast_clock):
+    proc_domain = PowerDomain("proc_io", BoardFETGate("fet"))
+    pch_domain = PowerDomain("pch_io")
+    proc_pad = AONIOBank(proc_domain).add_pad("pml", 0.001)
+    pch_pad = AONIOBank(pch_domain).add_pad("pml", 0.001)
+    return PMLLink(kernel, fast_clock, proc_pad, pch_pad), proc_domain
+
+
+class TestDeterminism:
+    def test_transfer_cycles_fixed_by_size(self, link):
+        pml, _domain = link
+        message = PMLMessage("timer", payload_words=2)
+        cycles_a = pml.to_chipset.transfer_cycles(message)
+        cycles_b = pml.to_chipset.transfer_cycles(PMLMessage("other", payload_words=2))
+        assert cycles_a == cycles_b
+        assert cycles_a == PMLChannel.HEADER_CYCLES + 2 * PMLChannel.CYCLES_PER_WORD
+
+    def test_larger_payload_takes_longer(self, link):
+        pml, _domain = link
+        small = pml.to_chipset.transfer_latency_ps(PMLMessage("m", payload_words=1))
+        large = pml.to_chipset.transfer_latency_ps(PMLMessage("m", payload_words=8))
+        assert large > small
+
+    def test_compensation_matches_transfer_cycles(self, link):
+        """The Sec. 4.1.2 compensation constant IS the deterministic
+        transfer time in fast-clock cycles."""
+        pml, _domain = link
+        message = PMLMessage("timer", payload_words=2)
+        assert pml.timer_compensation_cycles() == pml.to_chipset.transfer_cycles(message)
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self, link, kernel):
+        pml, _domain = link
+        received = []
+        pml.to_chipset.set_receiver(lambda m: received.append((kernel.now, m.kind)))
+        message = PMLMessage("hello", payload_words=1)
+        expected = kernel.now + pml.to_chipset.transfer_latency_ps(message)
+        delivery = pml.to_chipset.send(message)
+        assert delivery == expected
+        kernel.run()
+        assert received == [(expected, "hello")]
+
+    def test_both_directions_independent(self, link, kernel):
+        pml, _domain = link
+        seen = []
+        pml.to_chipset.set_receiver(lambda m: seen.append("up"))
+        pml.to_processor.set_receiver(lambda m: seen.append("down"))
+        pml.to_chipset.send(PMLMessage("a"))
+        pml.to_processor.send(PMLMessage("b"))
+        kernel.run()
+        assert sorted(seen) == ["down", "up"]
+
+    def test_send_through_gated_pad_rejected(self, link):
+        pml, proc_domain = link
+        proc_domain.power_off()
+        with pytest.raises(IOError_):
+            pml.to_chipset.send(PMLMessage("x"))
+
+    def test_send_with_clock_off_rejected(self, link, fast_crystal):
+        pml, _domain = link
+        fast_crystal.disable(0)
+        with pytest.raises(IOError_):
+            pml.to_chipset.send(PMLMessage("x"))
+
+    def test_log_and_count(self, link, kernel):
+        pml, _domain = link
+        pml.to_chipset.set_receiver(lambda m: None)
+        pml.to_chipset.send(PMLMessage("one"))
+        pml.to_chipset.send(PMLMessage("two"))
+        kernel.run()
+        assert pml.to_chipset.messages_sent == 2
+        assert [m.kind for m in pml.to_chipset.log] == ["one", "two"]

@@ -1,0 +1,46 @@
+"""Tests for wake-event classification."""
+
+from repro.io.wake import WakeEvent, WakeEventType
+
+
+class TestWakeEventType:
+    def test_thermal_handled_by_pmu_alone(self):
+        """Sec. 2.2: only wakes that need core handling power the cores
+        up; the thermal report can be serviced by the PMU."""
+        assert not WakeEventType.THERMAL.needs_cores
+
+    def test_user_and_network_need_cores(self):
+        assert WakeEventType.USER_INPUT.needs_cores
+        assert WakeEventType.NETWORK.needs_cores
+        assert WakeEventType.TIMER.needs_cores
+
+    def test_values_are_stable_strings(self):
+        """The string values appear in trace logs and CSVs; renaming
+        them silently would break recorded traces."""
+        assert WakeEventType.TIMER.value == "timer"
+        assert WakeEventType.NETWORK.value == "network"
+        assert WakeEventType.THERMAL.value == "thermal"
+
+
+class TestWakeEvent:
+    def test_str_includes_type_and_time(self):
+        event = WakeEvent(WakeEventType.NETWORK, 12345, detail="push")
+        text = str(event)
+        assert "network" in text
+        assert "12345" in text
+        assert "push" in text
+
+    def test_timer_target_carried(self):
+        event = WakeEvent(WakeEventType.TIMER, 0, timer_target=999)
+        assert event.timer_target == 999
+
+    def test_frozen(self):
+        import dataclasses
+
+        event = WakeEvent(WakeEventType.TIMER, 0)
+        try:
+            event.time_ps = 1
+            raised = False
+        except dataclasses.FrozenInstanceError:
+            raised = True
+        assert raised

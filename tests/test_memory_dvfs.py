@@ -1,0 +1,94 @@
+"""Tests for the dynamic memory DVFS extension (Sec. 8.2 recommendation)."""
+
+import pytest
+
+from repro.core.techniques import TechniqueSet
+from repro.errors import ConfigError
+from repro.memory.dvfs import (
+    MemoryDVFSGovernor,
+    memory_dvfs_comparison,
+)
+
+from _platform import build_platform
+
+
+class TestGovernor:
+    def make(self, techniques=None):
+        platform = build_platform(
+            techniques if techniques is not None else TechniqueSet.baseline(),
+            small_context=True,
+        )
+        platform.boot()
+        return platform, MemoryDVFSGovernor(platform)
+
+    def test_standby_mode_lowers_rate(self):
+        platform, governor = self.make()
+        governor.enter_standby_mode()
+        assert platform.board.memory.transfer_rate_hz == pytest.approx(0.8e9)
+        assert governor.mode == "standby"
+        assert governor.retrain_count == 1
+
+    def test_interactive_mode_restores_rate(self):
+        platform, governor = self.make()
+        governor.enter_standby_mode()
+        governor.enter_interactive_mode()
+        assert platform.board.memory.transfer_rate_hz == pytest.approx(1.6e9)
+        assert governor.retrain_count == 2
+
+    def test_same_mode_is_noop(self):
+        _platform, governor = self.make()
+        governor.enter_interactive_mode()
+        assert governor.retrain_count == 0
+
+    def test_retrain_while_self_refreshing_rejected(self):
+        platform, governor = self.make()
+        platform.memory_controller.enter_self_refresh()
+        with pytest.raises(ConfigError):
+            governor.enter_standby_mode()
+
+    def test_pcm_main_memory_noop(self):
+        platform, governor = (None, None)
+        platform = build_platform(TechniqueSet.odrips_pcm(), small_context=True)
+        platform.boot()
+        governor = MemoryDVFSGovernor(platform)
+        governor.enter_standby_mode()
+        assert governor.mode == "standby"
+        assert governor.retrain_count == 0  # nothing to retrain
+
+    def test_invalid_rates_rejected(self):
+        platform = build_platform(TechniqueSet.baseline(), small_context=True)
+        with pytest.raises(ConfigError):
+            MemoryDVFSGovernor(platform, standby_rate_hz=2e9, interactive_rate_hz=1e9)
+
+    def test_standby_power_drops_at_low_rate(self):
+        platform, governor = self.make()
+        platform.apply_active_state()
+        before = platform.platform_power()
+        governor.enter_standby_mode()
+        assert platform.platform_power() < before
+
+
+class TestPolicyComparison:
+    def test_dynamic_wins_the_day(self):
+        """The Sec. 8.2 recommendation: dynamic DVFS beats both statics."""
+        results = memory_dvfs_comparison(cycles=1)
+        by_policy = {row.policy: row for row in results}
+        dynamic = by_policy["dynamic DVFS (recommended)"]
+        static_high = by_policy["static full rate"]
+        static_low = by_policy["static low rate"]
+        assert dynamic.day_energy_wh < static_high.day_energy_wh
+        assert dynamic.day_energy_wh < static_low.day_energy_wh
+
+    def test_static_low_slows_interactive(self):
+        results = memory_dvfs_comparison(cycles=1)
+        by_policy = {row.policy: row for row in results}
+        assert by_policy["static low rate"].interactive_slowdown > 1.2
+        assert by_policy["dynamic DVFS (recommended)"].interactive_slowdown == pytest.approx(1.0)
+
+    def test_standby_power_matches_fig6c_direction(self):
+        results = memory_dvfs_comparison(cycles=1)
+        by_policy = {row.policy: row for row in results}
+        assert (
+            by_policy["static low rate"].standby_power_mw
+            < by_policy["static full rate"].standby_power_mw
+        )

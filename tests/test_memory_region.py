@@ -1,0 +1,83 @@
+"""Tests for memory regions and the protected-range register."""
+
+import pytest
+
+from repro.errors import MemoryFault
+from repro.memory.region import MemoryRegion, RangeRegister
+
+
+class TestMemoryRegion:
+    def test_contains(self):
+        region = MemoryRegion(100, 50)
+        assert region.contains(100)
+        assert region.contains(149)
+        assert region.contains(100, 50)
+        assert not region.contains(99)
+        assert not region.contains(149, 2)
+
+    def test_overlaps(self):
+        region = MemoryRegion(100, 50)
+        assert region.overlaps(90, 20)
+        assert region.overlaps(140, 20)
+        assert not region.overlaps(0, 100)
+        assert not region.overlaps(150, 10)
+
+    def test_offset_of(self):
+        region = MemoryRegion(100, 50)
+        assert region.offset_of(120) == 20
+        with pytest.raises(MemoryFault):
+            region.offset_of(99)
+
+    def test_invalid_region_rejected(self):
+        with pytest.raises(MemoryFault):
+            MemoryRegion(-1, 10)
+        with pytest.raises(MemoryFault):
+            MemoryRegion(0, 0)
+
+    def test_end(self):
+        assert MemoryRegion(100, 50).end == 150
+
+
+class TestRangeRegister:
+    def test_matches_only_fully_inside(self):
+        register = RangeRegister("rr")
+        register.program(MemoryRegion(1000, 100))
+        assert register.matches(1000, 100)
+        assert register.matches(1050, 10)
+        assert not register.matches(990, 20)
+
+    def test_straddle_detection(self):
+        """A straddling access would leak protected bytes; it must fault."""
+        register = RangeRegister("rr")
+        register.program(MemoryRegion(1000, 100))
+        assert register.straddles(990, 20)
+        assert register.straddles(1090, 20)
+        assert not register.straddles(1000, 100)
+        assert not register.straddles(0, 10)
+
+    def test_unprogrammed_register_matches_nothing(self):
+        register = RangeRegister("rr")
+        assert not register.matches(0, 10)
+        assert not register.straddles(0, 10)
+
+    def test_lock_prevents_reprogramming(self):
+        """SGX range registers freeze until reset, so untrusted software
+        cannot move the protected window (Sec. 6.1)."""
+        register = RangeRegister("rr")
+        register.program(MemoryRegion(0, 100))
+        register.lock()
+        with pytest.raises(MemoryFault):
+            register.program(MemoryRegion(200, 100))
+
+    def test_lock_requires_programming(self):
+        register = RangeRegister("rr")
+        with pytest.raises(MemoryFault):
+            register.lock()
+
+    def test_reset_clears_and_unlocks(self):
+        register = RangeRegister("rr")
+        register.program(MemoryRegion(0, 100))
+        register.lock()
+        register.reset()
+        assert register.region is None
+        register.program(MemoryRegion(200, 100))  # allowed again

@@ -1,0 +1,77 @@
+"""Tests for the sparse backing store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryFault
+from repro.memory.store import PAGE_SIZE, SparseMemory
+
+
+class TestBasics:
+    def test_unwritten_reads_fill_value(self):
+        memory = SparseMemory(1024, fill=0xAB)
+        assert memory.read(0, 4) == b"\xab\xab\xab\xab"
+
+    def test_roundtrip(self):
+        memory = SparseMemory(1 << 20)
+        memory.write(1000, b"hello")
+        assert memory.read(1000, 5) == b"hello"
+
+    def test_cross_page_write(self):
+        memory = SparseMemory(3 * PAGE_SIZE)
+        data = bytes(range(256)) * 20  # spans pages
+        memory.write(PAGE_SIZE - 100, data)
+        assert memory.read(PAGE_SIZE - 100, len(data)) == data
+
+    def test_pages_materialize_lazily(self):
+        memory = SparseMemory(1 << 30)
+        assert memory.resident_pages == 0
+        memory.write(12345, b"x")
+        assert memory.resident_pages == 1
+        memory.read(1 << 29, 64)  # read does not allocate
+        assert memory.resident_pages == 1
+
+    def test_out_of_range_rejected(self):
+        memory = SparseMemory(100)
+        with pytest.raises(MemoryFault):
+            memory.read(90, 20)
+        with pytest.raises(MemoryFault):
+            memory.write(99, b"ab")
+        with pytest.raises(MemoryFault):
+            memory.read(-1, 1)
+
+    def test_erase_drops_everything(self):
+        memory = SparseMemory(1024, fill=0)
+        memory.write(0, b"data")
+        memory.erase()
+        assert memory.read(0, 4) == b"\x00\x00\x00\x00"
+        assert memory.resident_pages == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(MemoryFault):
+            SparseMemory(0)
+        with pytest.raises(MemoryFault):
+            SparseMemory(10, fill=300)
+
+
+class TestProperties:
+    @given(
+        address=st.integers(min_value=0, max_value=3 * PAGE_SIZE),
+        data=st.binary(min_size=1, max_size=2 * PAGE_SIZE),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_write_then_read_roundtrip(self, address, data):
+        memory = SparseMemory(8 * PAGE_SIZE)
+        memory.write(address, data)
+        assert memory.read(address, len(data)) == data
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_non_overlapping_writes_independent(self, data):
+        memory = SparseMemory(4 * PAGE_SIZE)
+        first = data.draw(st.binary(min_size=1, max_size=100))
+        second = data.draw(st.binary(min_size=1, max_size=100))
+        memory.write(0, first)
+        memory.write(2 * PAGE_SIZE, second)
+        assert memory.read(0, len(first)) == first
+        assert memory.read(2 * PAGE_SIZE, len(second)) == second

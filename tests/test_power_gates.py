@@ -1,0 +1,48 @@
+"""Tests for power gates (EPG vs board FET, Sec. 5.1)."""
+
+import pytest
+
+from repro.errors import PowerError
+from repro.power.gates import BoardFETGate, EmbeddedPowerGate, PowerGate
+
+
+class TestGateMechanics:
+    def test_closed_gate_passes_load(self):
+        gate = PowerGate("g")
+        assert gate.delivered_power(1.0) == pytest.approx(1.0)
+
+    def test_open_gate_leaks_fraction(self):
+        gate = BoardFETGate("fet", closed=False)
+        assert gate.delivered_power(1.0) == pytest.approx(gate.leakage_fraction)
+
+    def test_switch_counting(self):
+        gate = PowerGate("g")
+        gate.open()
+        gate.close()
+        gate.close()  # no-op
+        assert gate.switch_count == 2
+
+    def test_negative_load_rejected(self):
+        gate = PowerGate("g")
+        with pytest.raises(PowerError):
+            gate.delivered_power(-1.0)
+
+
+class TestPaperComparison:
+    def test_fet_leaks_less_than_epg(self):
+        """Sec. 5.1: the FET 'has less leakage compared to EPG'."""
+        assert BoardFETGate.leakage_fraction < EmbeddedPowerGate.leakage_fraction
+
+    def test_fet_leakage_below_paper_bound(self):
+        """Sec. 5.3: FET leakage 'less than 0.3% of the gated load'."""
+        assert BoardFETGate.leakage_fraction < 0.003
+
+    def test_fet_conduction_loss_small(self):
+        gate = BoardFETGate("fet")
+        assert gate.delivered_power(1.0) < 1.01
+
+    def test_fet_gpio_binding(self):
+        gate = BoardFETGate("fet")
+        assert gate.control_gpio is None
+        gate.bind_gpio(49)
+        assert gate.control_gpio == 49

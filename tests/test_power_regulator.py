@@ -1,0 +1,86 @@
+"""Tests for regulators and efficiency curves."""
+
+import pytest
+
+from repro.errors import PowerError
+from repro.power.regulator import EfficiencyCurve, Regulator
+
+
+class TestEfficiencyCurve:
+    def test_constant_curve(self):
+        curve = EfficiencyCurve.constant(0.74)
+        assert curve.efficiency(1e-5) == pytest.approx(0.74)
+        assert curve.efficiency(10.0) == pytest.approx(0.74)
+
+    def test_interpolation_in_log_space(self):
+        curve = EfficiencyCurve([(0.01, 0.5), (1.0, 0.9)])
+        # geometric midpoint of 0.01 and 1.0 is 0.1
+        assert curve.efficiency(0.1) == pytest.approx(0.7)
+
+    def test_clamped_below_and_above(self):
+        curve = EfficiencyCurve([(0.01, 0.5), (1.0, 0.9)])
+        assert curve.efficiency(0.0001) == pytest.approx(0.5)
+        assert curve.efficiency(100.0) == pytest.approx(0.9)
+
+    def test_zero_load_uses_first_point(self):
+        curve = EfficiencyCurve([(0.01, 0.5), (1.0, 0.9)])
+        assert curve.efficiency(0.0) == pytest.approx(0.5)
+
+    def test_invalid_points_rejected(self):
+        with pytest.raises(PowerError):
+            EfficiencyCurve([])
+        with pytest.raises(PowerError):
+            EfficiencyCurve([(-1.0, 0.5)])
+        with pytest.raises(PowerError):
+            EfficiencyCurve([(1.0, 1.5)])
+
+    def test_unsorted_points_are_sorted(self):
+        curve = EfficiencyCurve([(1.0, 0.9), (0.01, 0.5)])
+        assert curve.efficiency(1.0) == pytest.approx(0.9)
+
+
+class TestRegulator:
+    def test_input_power_divides_by_efficiency(self):
+        regulator = Regulator("vr", EfficiencyCurve.constant(0.8))
+        assert regulator.input_power(0.8) == pytest.approx(1.0)
+
+    def test_quiescent_at_zero_load(self):
+        regulator = Regulator("vr", EfficiencyCurve.constant(0.8), quiescent_watts=0.05)
+        assert regulator.input_power(0.0) == pytest.approx(0.05)
+
+    def test_disabled_zero_load_draws_nothing(self):
+        regulator = Regulator("vr", EfficiencyCurve.constant(0.8), quiescent_watts=0.05)
+        regulator.disable()
+        assert regulator.input_power(0.0) == 0.0
+
+    def test_disabled_with_load_faults(self):
+        regulator = Regulator("vr", EfficiencyCurve.constant(0.8))
+        regulator.disable()
+        with pytest.raises(PowerError):
+            regulator.input_power(1.0)
+
+    def test_disable_with_live_load_rejected(self):
+        regulator = Regulator("vr", EfficiencyCurve.constant(0.8))
+        with pytest.raises(PowerError):
+            regulator.disable(load_watts=0.5)
+
+    def test_enable_counts(self):
+        regulator = Regulator("vr", EfficiencyCurve.constant(1.0))
+        regulator.disable()
+        regulator.enable()
+        regulator.enable()  # no-op
+        assert regulator.enable_count == 1
+
+    def test_negative_load_rejected(self):
+        regulator = Regulator("vr", EfficiencyCurve.constant(1.0))
+        with pytest.raises(PowerError):
+            regulator.input_power(-0.1)
+
+    def test_negative_quiescent_rejected(self):
+        with pytest.raises(PowerError):
+            Regulator("vr", EfficiencyCurve.constant(1.0), quiescent_watts=-0.1)
+
+    def test_drips_efficiency_of_the_paper(self):
+        """Sec. 8 footnote: a 10 mW load costs 10/0.74 = 13.51 mW."""
+        regulator = Regulator("vr", EfficiencyCurve.constant(0.74))
+        assert regulator.input_power(0.010) * 1e3 == pytest.approx(13.51, abs=0.01)

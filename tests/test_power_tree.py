@@ -1,0 +1,109 @@
+"""Tests for the power tree: aggregation, metering, attribution."""
+
+import pytest
+
+from repro.power.gates import BoardFETGate
+from repro.units import SECOND
+
+
+class TestAggregation:
+    def test_platform_power_sums_rails(self, tree):
+        rail_a = tree.new_rail("a", 1.0)
+        rail_b = tree.new_rail("b", 1.0)
+        rail_a.new_domain("da").new_component("ca", 0.1)
+        rail_b.new_domain("db").new_component("cb", 0.2)
+        assert tree.platform_power() == pytest.approx(0.3)
+
+    def test_meter_follows_changes(self, tree, kernel, meter):
+        rail = tree.new_rail("a", 1.0)
+        component = rail.new_domain("d").new_component("c", 1.0)
+        kernel.advance_to(SECOND)
+        component.set_leakage(3.0)
+        assert meter.power("platform") == pytest.approx(3.0)
+        assert meter.energy("platform", up_to_ps=2 * SECOND) == pytest.approx(1.0 + 3.0)
+
+    def test_trace_records_platform_power(self, tree, trace):
+        rail = tree.new_rail("a", 1.0)
+        rail.new_domain("d").new_component("c", 0.5)
+        assert trace.last("platform").value == pytest.approx(0.5)
+
+    def test_rail_lookup(self, tree):
+        tree.new_rail("aon", 1.0)
+        assert tree.rail("aon").name == "aon"
+        with pytest.raises(KeyError):
+            tree.rail("missing")
+
+
+class TestSuspension:
+    def test_batched_updates_collapse(self, tree, kernel, trace):
+        rail = tree.new_rail("a", 1.0)
+        domain = rail.new_domain("d")
+        kernel.advance_to(100)
+        samples_before = len(trace.samples("platform"))
+        tree.suspend_updates()
+        domain.new_component("c1", 0.1)
+        domain.new_component("c2", 0.2)
+        tree.resume_updates()
+        new_samples = len(trace.samples("platform")) - samples_before
+        assert new_samples == 1
+        assert tree.platform_power() == pytest.approx(0.3)
+
+    def test_nested_suspension(self, tree):
+        rail = tree.new_rail("a", 1.0)
+        domain = rail.new_domain("d")
+        tree.suspend_updates()
+        tree.suspend_updates()
+        domain.new_component("c", 0.1)
+        tree.resume_updates()
+        tree.resume_updates()
+        assert tree.platform_power() == pytest.approx(0.1)
+
+    def test_resume_without_suspend_is_safe(self, tree):
+        tree.resume_updates()
+
+
+class TestAttribution:
+    def test_components_attributed_directly_at_unit_efficiency(self, tree):
+        rail = tree.new_rail("a", 1.0)
+        domain = rail.new_domain("d")
+        domain.new_component("x", 0.1)
+        domain.new_component("y", 0.3)
+        breakdown = tree.attributed_breakdown()
+        assert breakdown["x"] == pytest.approx(0.1)
+        assert breakdown["y"] == pytest.approx(0.3)
+
+    def test_delivery_tax_distributed_proportionally(self, tree):
+        from repro.power.regulator import EfficiencyCurve
+
+        rail = tree.new_rail("a", 1.0, curve=EfficiencyCurve.constant(0.5))
+        domain = rail.new_domain("d")
+        domain.new_component("x", 0.1)
+        domain.new_component("y", 0.3)
+        breakdown = tree.attributed_breakdown()
+        assert breakdown["x"] == pytest.approx(0.2)
+        assert breakdown["y"] == pytest.approx(0.6)
+
+    def test_gated_domain_booked_as_gate_leakage(self, tree):
+        rail = tree.new_rail("a", 1.0)
+        gate = BoardFETGate("fet")
+        domain = rail.new_domain("d", gate=gate)
+        domain.new_component("x", 1.0)
+        domain.power_off()
+        breakdown = tree.attributed_breakdown()
+        assert "x" not in breakdown
+        assert breakdown["gate:d"] == pytest.approx(gate.leakage_fraction)
+
+    def test_fractions_sum_to_one(self, tree):
+        rail = tree.new_rail("a", 1.0)
+        domain = rail.new_domain("d")
+        domain.new_component("x", 0.2)
+        domain.new_component("y", 0.6)
+        fractions = tree.breakdown_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["y"] == pytest.approx(0.75)
+
+    def test_quiescent_only_rail_booked_as_vr(self, tree):
+        rail = tree.new_rail("a", 1.0, quiescent_watts=0.05)
+        rail.new_domain("d")  # empty
+        breakdown = tree.attributed_breakdown()
+        assert breakdown["vr:a"] == pytest.approx(0.05)

@@ -1,0 +1,104 @@
+"""Tests for the processor PMU."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.power.domain import PowerDomain
+from repro.processor.cstates import CState
+from repro.processor.pmu import ProcessorPMU
+from repro.units import ms_to_ps, us_to_ps
+
+
+@pytest.fixture
+def pmu(kernel, fast_clock):
+    domain = PowerDomain("pmu")
+    return ProcessorPMU(
+        kernel,
+        fast_clock,
+        component=domain.new_component("pmu"),
+        drips_power_watts=0.42e-3,
+        deep_power_watts=0.12e-3,
+    )
+
+
+class TestModes:
+    def test_mode_power_levels(self, pmu):
+        pmu.set_mode(ProcessorPMU.MODE_DRIPS)
+        assert pmu.component.power_watts == pytest.approx(0.42e-3)
+        pmu.set_mode(ProcessorPMU.MODE_DEEP)
+        assert pmu.component.power_watts == pytest.approx(0.12e-3)
+        pmu.set_mode(ProcessorPMU.MODE_ACTIVE)
+        assert pmu.component.power_watts == 0.0
+
+    def test_unknown_mode_rejected(self, pmu):
+        with pytest.raises(FlowError):
+            pmu.set_mode("bogus")
+
+
+class TestIdleStateSelection:
+    def test_deep_sleep_for_long_idle(self, pmu):
+        state = pmu.select_idle_state(ltr_ps=ms_to_ps(10), tnte_ps=ms_to_ps(30_000))
+        assert state is CState.C10
+
+    def test_tight_ltr_limits_depth(self, pmu):
+        """LTR says the device cannot tolerate a slow wake."""
+        state = pmu.select_idle_state(ltr_ps=us_to_ps(60), tnte_ps=ms_to_ps(30_000))
+        assert state is CState.C6
+
+    def test_imminent_timer_limits_depth(self, pmu):
+        """TNTE says a wake is coming soon: don't pay deep entry cost."""
+        state = pmu.select_idle_state(ltr_ps=ms_to_ps(10), tnte_ps=us_to_ps(150))
+        assert state is CState.C6
+
+    def test_very_tight_constraints_stay_active(self, pmu):
+        state = pmu.select_idle_state(ltr_ps=0, tnte_ps=0)
+        assert state is CState.C0
+
+    def test_deeper_states_with_looser_constraints(self, pmu):
+        depths = [
+            pmu.select_idle_state(us_to_ps(ltr_us), ms_to_ps(1000))
+            for ltr_us in (1, 10, 60, 150, 400)
+        ]
+        values = [int(state) for state in depths]
+        assert values == sorted(values)
+
+
+class TestWakeMonitoring:
+    def test_baseline_monitor_fires_at_target(self, pmu, kernel, fast_clock):
+        fired = []
+        pmu.set_wake_callback(lambda target: fired.append((kernel.now, target)))
+        pmu.schedule_timer_event(2400)
+        wake_ps = pmu.arm_baseline_monitor()
+        kernel.run()
+        assert fired == [(wake_ps, 2400)]
+        assert pmu.tsc.read(wake_ps) >= 2400
+
+    def test_sleep_without_timer_event_rejected(self, pmu):
+        with pytest.raises(FlowError):
+            pmu.arm_baseline_monitor()
+
+    def test_disarm_cancels(self, pmu, kernel):
+        fired = []
+        pmu.set_wake_callback(lambda target: fired.append(target))
+        pmu.schedule_timer_event(2400)
+        pmu.arm_baseline_monitor()
+        pmu.disarm_monitor()
+        kernel.run()
+        assert fired == []
+
+    def test_negative_target_rejected(self, pmu):
+        from repro.errors import TimerError
+
+        with pytest.raises(TimerError):
+            pmu.schedule_timer_event(-1)
+
+
+class TestStateExport:
+    def test_roundtrip(self, pmu):
+        pmu.firmware_state["patch_rev"] = 0x31AA
+        pmu.schedule_timer_event(777)
+        state = pmu.export_state()
+        pmu.firmware_state = {}
+        pmu.import_state(state)
+        assert pmu.firmware_state["patch_rev"] == 0x31AA
+        assert pmu.wake_target == 777

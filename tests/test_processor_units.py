@@ -1,0 +1,195 @@
+"""Tests for processor-side units: C-states, compute, LLC, SRAMs, boot."""
+
+import pytest
+
+from repro.config import ActivePowerModel, ContextInventory
+from repro.errors import FlowError, MemoryFault
+from repro.power.domain import PowerDomain
+from repro.processor.boot import BootSRAM
+from repro.processor.core import ComputeDomain, synthesize_context
+from repro.processor.cstates import CSTATE_EXIT_LATENCY_PS, CState
+from repro.processor.llc import LastLevelCache
+from repro.processor.sr_sram import SaveRestoreSRAMs
+
+
+class TestCStates:
+    def test_ordering(self):
+        assert CState.C10 > CState.C8 > CState.C6 > CState.C2 > CState.C0
+
+    def test_flags(self):
+        assert CState.C0.is_active
+        assert CState.C10.is_drips
+        assert not CState.C8.is_drips
+
+    def test_exit_latencies_monotonic(self):
+        """Deeper states must cost more to exit (the LTR trade)."""
+        ladder = [CState.C0, CState.C2, CState.C6, CState.C8, CState.C10]
+        latencies = [CSTATE_EXIT_LATENCY_PS[state] for state in ladder]
+        assert latencies == sorted(latencies)
+
+
+class TestComputeDomain:
+    def make(self):
+        domain = PowerDomain("compute")
+        compute = ComputeDomain("proc", domain, ActivePowerModel(), 0.8, 4096)
+        return domain, compute
+
+    def test_active_power_from_model(self):
+        domain, compute = self.make()
+        compute.start()
+        model = ActivePowerModel()
+        assert compute.component.power_watts == pytest.approx(
+            model.core_dynamic_watts(0.8)
+        )
+
+    def test_task_duration_scales_inverse_frequency(self):
+        _domain, compute = self.make()
+        cycles = 80_000_000
+        at_slow = compute.task_duration_ps(cycles)
+        compute.set_frequency(1.6)
+        assert compute.task_duration_ps(cycles) == pytest.approx(at_slow / 2, rel=1e-9)
+
+    def test_run_task_requires_active(self):
+        _domain, compute = self.make()
+        with pytest.raises(FlowError):
+            compute.run_task(100)
+
+    def test_start_requires_powered_domain(self):
+        domain, compute = self.make()
+        domain.power_off()
+        with pytest.raises(FlowError):
+            compute.start()
+
+    def test_voltage_rides_vmin_floor(self):
+        """Fig. 6(b) mechanism: V flat up to 1.0 GHz, rising above."""
+        _domain, compute = self.make()
+        model = compute.active_model
+        assert model.voltage(0.8) == model.voltage(1.0)
+        assert model.voltage(1.5) > model.voltage(1.0)
+
+    def test_context_generations_differ(self):
+        _domain, compute = self.make()
+        first = compute.capture_context()
+        second = compute.capture_context()
+        assert first != second
+        compute.verify_restored(second)
+        with pytest.raises(FlowError):
+            compute.verify_restored(first)
+
+    def test_verify_without_capture_rejected(self):
+        _domain, compute = self.make()
+        with pytest.raises(FlowError):
+            compute.verify_restored(b"x")
+
+    def test_synthesize_context_deterministic(self):
+        assert synthesize_context("a", 100, 1) == synthesize_context("a", 100, 1)
+        assert synthesize_context("a", 100, 1) != synthesize_context("b", 100, 1)
+
+
+class TestLLC:
+    def test_flush_latency_scales_with_dirt(self):
+        llc = LastLevelCache(3 * 1024 * 1024, typical_dirty_fraction=0.25)
+        llc.mark_typical_dirty()
+        full = llc.flush_latency_ps(17.9e9)
+        llc.flush()
+        llc.touch(1024)
+        assert llc.flush_latency_ps(17.9e9) < full
+
+    def test_power_off_requires_clean(self):
+        llc = LastLevelCache(1024)
+        llc.touch(100)
+        with pytest.raises(FlowError):
+            llc.power_off()
+        llc.flush()
+        llc.power_off()
+        assert not llc.powered
+
+    def test_flush_returns_bytes_and_clears(self):
+        llc = LastLevelCache(1024)
+        llc.touch(300)
+        assert llc.flush() == 300
+        assert llc.dirty_bytes == 0
+        assert llc.flush_count == 1
+
+    def test_dirty_capped_at_capacity(self):
+        llc = LastLevelCache(1024)
+        llc.touch(5000)
+        assert llc.dirty_bytes == 1024
+
+    def test_flush_powered_off_rejected(self):
+        llc = LastLevelCache(1024)
+        llc.power_off()
+        with pytest.raises(FlowError):
+            llc.flush()
+
+
+class TestSaveRestoreSRAMs:
+    def make(self):
+        domain = PowerDomain("retention")
+        inventory = ContextInventory(
+            system_agent_bytes=1024, cores_bytes=2048, graphics_bytes=1024
+        )
+        return domain, SaveRestoreSRAMs(domain, inventory, retention_budget_watts=0.0054)
+
+    def test_budget_split_by_capacity(self):
+        _domain, srams = self.make()
+        assert srams.retention_power_watts == pytest.approx(0.0054)
+        assert srams.compute_sram.retention_power_watts() == pytest.approx(
+            3 * srams.sa_sram.retention_power_watts()
+        )
+
+    def test_context_roundtrip_through_retention(self):
+        _domain, srams = self.make()
+        sa = synthesize_context("sa", 1024)
+        compute = synthesize_context("cores", 3072)
+        srams.save_sa_context(sa)
+        srams.save_compute_context(compute)
+        srams.enter_retention()
+        srams.exit_retention()
+        assert srams.load_sa_context(1024) == sa
+        assert srams.load_compute_context(3072) == compute
+
+    def test_oversized_context_rejected(self):
+        _domain, srams = self.make()
+        with pytest.raises(MemoryFault):
+            srams.save_sa_context(bytes(2048))
+
+    def test_power_off_drops_draw(self):
+        domain, srams = self.make()
+        srams.power_off()
+        assert domain.nominal_load_watts() == 0.0
+
+
+class TestBootSRAM:
+    def test_store_and_load_record(self):
+        domain = PowerDomain("pmu")
+        boot = BootSRAM(domain)
+        boot.store({"firmware_state": {"a": 1}, "wake_target": 5},
+                   {"protected_base": 100, "protected_size": 10, "locked": True},
+                   b"\x01\x02")
+        record = boot.load()
+        assert record["pmu"]["wake_target"] == 5
+        assert record["controller"]["locked"] is True
+        assert record["mee"] == b"\x01\x02"
+
+    def test_mee_state_optional(self):
+        boot = BootSRAM(PowerDomain("pmu"))
+        boot.store({}, {}, None)
+        assert boot.load()["mee"] is None
+
+    def test_empty_boot_sram_rejected(self):
+        boot = BootSRAM(PowerDomain("pmu"))
+        with pytest.raises(FlowError):
+            boot.load()
+
+    def test_oversized_record_rejected(self):
+        boot = BootSRAM(PowerDomain("pmu"), capacity_bytes=64)
+        with pytest.raises(MemoryFault):
+            boot.store({"firmware_state": {"k" * 100: 1}, "wake_target": None}, {}, None)
+
+    def test_paper_size_bound(self):
+        """Sec. 6.2: ~1 KB, 'only 0.5% of the entire processor context'."""
+        from repro.config import ContextInventory
+
+        inventory = ContextInventory()
+        assert inventory.boot_bytes / inventory.total_bytes == pytest.approx(0.005, abs=0.001)

@@ -1,0 +1,209 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.clocks.clock import DerivedClock
+from repro.clocks.crystal import CrystalOscillator
+from repro.memory.dram import DRAMDevice
+from repro.power.meter import EnergyMeter
+from repro.sgx.cache import MEECache
+from repro.sgx.integrity_tree import TreeGeometry
+from repro.sgx.mee import MemoryEncryptionEngine
+from repro.timers.calibration import StepCalibrator
+from repro.timers.dual_timer import ChipsetDualTimer
+from repro.units import PICOSECONDS_PER_SECOND, SECOND
+
+
+class TestMeterProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=10**9),  # duration steps
+                st.floats(min_value=0, max_value=10.0),     # power level
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_integration_matches_sum_of_rectangles(self, steps):
+        """Meter energy == sum(power * duration) for any step sequence."""
+        meter = EnergyMeter()
+        now = 0
+        expected = 0.0
+        previous_power = 0.0
+        for duration, power in steps:
+            meter.set_power(now, "x", power)
+            expected_piece = power * duration / PICOSECONDS_PER_SECOND
+            now += duration
+            expected += expected_piece
+            previous_power = power
+        assert meter.energy("x", up_to_ps=now) == pytest.approx(expected, rel=1e-12, abs=1e-15)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=5.0), min_size=2, max_size=10),
+        st.integers(min_value=1, max_value=10**10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_total_equals_sum_of_channels(self, powers, window):
+        meter = EnergyMeter()
+        for index, power in enumerate(powers):
+            meter.set_power(0, f"ch{index}", power)
+        total = meter.total_energy(up_to_ps=window)
+        parts = sum(meter.energy(f"ch{index}") for index in range(len(powers)))
+        assert total == pytest.approx(parts)
+
+
+class TestTimerProperties:
+    @given(
+        fast_ppm=st.floats(min_value=-150, max_value=150),
+        slow_ppm=st.floats(min_value=-150, max_value=150),
+        reads=st.lists(st.integers(min_value=1, max_value=10**12), min_size=2, max_size=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_slow_mode_reads_monotonic_nondecreasing(self, fast_ppm, slow_ppm, reads):
+        fast = CrystalOscillator("f", 24e6, ppm_error=fast_ppm)
+        slow = CrystalOscillator("s", 32768.0, ppm_error=slow_ppm)
+        calibrator = StepCalibrator.for_precision(fast, slow)
+        timer = ChipsetDualTimer(
+            "t", DerivedClock("fc", fast), DerivedClock("sc", slow),
+            frac_bits=calibrator.frac_bits,
+        )
+        timer.set_step(calibrator.run(0).step)
+        timer.load_fast(0, 0)
+        edge = timer.next_slow_edge(0)
+        timer.switch_to_slow(edge)
+        now = edge
+        previous = timer.read(now)
+        for delta in reads:
+            now += delta
+            value = timer.read(now)
+            assert value >= previous
+            previous = value
+
+    @given(
+        target_s=st.floats(min_value=0.001, max_value=100.0),
+        fast_ppm=st.floats(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_slow_mode_deadline_is_tight(self, target_s, fast_ppm):
+        """time_of_count returns the FIRST slow edge meeting the target."""
+        fast = CrystalOscillator("f", 24e6, ppm_error=fast_ppm)
+        slow = CrystalOscillator("s", 32768.0)
+        calibrator = StepCalibrator.for_precision(fast, slow)
+        timer = ChipsetDualTimer(
+            "t", DerivedClock("fc", fast), DerivedClock("sc", slow),
+            frac_bits=calibrator.frac_bits,
+        )
+        timer.set_step(calibrator.run(0).step)
+        timer.load_fast(0, 0)
+        edge = timer.next_slow_edge(0)
+        timer.switch_to_slow(edge)
+        target = timer.read(edge) + round(target_s * 24e6)
+        when = timer.time_of_count(target, edge)
+        assert timer.read(when) >= target
+        if when - slow.period_ps > edge:
+            assert timer.read(when - slow.period_ps) < target
+
+
+class MEEStateMachine(RuleBasedStateMachine):
+    """Stateful test: the MEE behaves like a plain byte store with
+    verification, across arbitrary interleavings of reads, writes and
+    power cycles."""
+
+    def __init__(self):
+        super().__init__()
+        device = DRAMDevice("dram", capacity_bytes=64 * (1 << 20))
+        geometry = TreeGeometry.for_data_size(1 << 20, 4096)
+        self.mee = MemoryEncryptionEngine(device, geometry, b"k" * 32, MEECache(4, 2))
+        self.mee.initialize_region()
+        self.shadow = bytearray(4096)
+
+    @rule(offset=st.integers(0, 4000), data=st.binary(min_size=1, max_size=96))
+    def write(self, offset, data):
+        data = data[: 4096 - offset]
+        if not data:
+            return
+        self.mee.write(offset, data)
+        self.shadow[offset : offset + len(data)] = data
+
+    @rule(offset=st.integers(0, 4000), length=st.integers(1, 96))
+    def read(self, offset, length):
+        length = min(length, 4096 - offset)
+        got, _latency = self.mee.read(offset, length)
+        assert got == bytes(self.shadow[offset : offset + length])
+
+    @rule()
+    def power_cycle(self):
+        state = self.mee.power_off()
+        self.mee.power_on(state)
+
+    @invariant()
+    def root_counter_counts_writes(self):
+        assert self.mee.tree.root_counter == self.mee.stats.blocks_written
+
+
+TestMEEStateMachine = MEEStateMachine.TestCase
+TestMEEStateMachine.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)
+
+
+class TestKernelOrderingProperty:
+    @given(
+        delays=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=60)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_events_always_fire_in_timestamp_then_fifo_order(self, delays):
+        from repro.sim.kernel import Kernel
+
+        kernel = Kernel()
+        fired = []
+        for index, delay in enumerate(delays):
+            kernel.schedule(delay, lambda i=index, d=delay: fired.append((d, i)))
+        kernel.run()
+        # sorted by (time, insertion order) == stable sort by time
+        assert fired == sorted(fired)
+
+    @given(
+        delays=st.lists(st.integers(min_value=1, max_value=10**6), min_size=2, max_size=30),
+        cancel_every=st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cancelled_events_never_fire(self, delays, cancel_every):
+        from repro.sim.kernel import Kernel
+
+        kernel = Kernel()
+        fired = []
+        events = [
+            kernel.schedule(delay, lambda i=index: fired.append(i))
+            for index, delay in enumerate(delays)
+        ]
+        cancelled = {
+            index for index in range(len(events)) if index % cancel_every == 0
+        }
+        for index in cancelled:
+            events[index].cancel()
+        kernel.run()
+        assert cancelled.isdisjoint(fired)
+        assert len(fired) == len(delays) - len(cancelled)
+
+
+class TestPowerTreeConservation:
+    @given(
+        loads=st.lists(st.floats(min_value=0, max_value=0.1), min_size=1, max_size=12)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_breakdown_sums_to_platform_power(self, loads):
+        from repro.power.tree import PowerTree
+        from repro.sim.kernel import Kernel
+
+        tree = PowerTree(Kernel())
+        rail = tree.new_rail("r", 1.0)
+        domain = rail.new_domain("d")
+        for index, load in enumerate(loads):
+            domain.new_component(f"c{index}", load)
+        breakdown = tree.attributed_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(tree.platform_power())

@@ -1,0 +1,63 @@
+"""Tests for the sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    budget_sensitivity,
+    workload_sensitivity,
+)
+from repro.errors import ConfigError
+
+
+class TestBudgetSensitivity:
+    def test_nominal_saving_is_the_headline(self):
+        rows = budget_sensitivity()
+        assert rows[0].saving_nominal == pytest.approx(0.22, abs=0.01)
+
+    def test_rows_sorted_by_swing(self):
+        rows = budget_sensitivity()
+        swings = [row.swing for row in rows]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_technique_targets_move_saving_up(self):
+        """Scaling up a component that ODRIPS eliminates (S/R SRAM) must
+        increase the saving; scaling up one it keeps (board-other) must
+        decrease it."""
+        rows = {row.parameter: row for row in budget_sensitivity()}
+        sram = rows["S/R SRAM power (9% slice)"]
+        board = rows["rest-of-board power"]
+        assert sram.saving_high > sram.saving_nominal > sram.saving_low
+        assert board.saving_high < board.saving_nominal < board.saving_low
+
+    def test_eliminated_slices_dominate_the_tornado(self):
+        rows = budget_sensitivity()
+        top_two = {rows[0].parameter, rows[1].parameter}
+        assert top_two & {
+            "S/R SRAM power (9% slice)",
+            "AON IO power (7% slice)",
+            "rest-of-board power",
+            "chipset AON power",
+        }
+
+    def test_invalid_perturbation_rejected(self):
+        with pytest.raises(ConfigError):
+            budget_sensitivity(perturbation=0.0)
+        with pytest.raises(ConfigError):
+            budget_sensitivity(perturbation=1.5)
+
+
+class TestWorkloadSensitivity:
+    def test_saving_grows_with_idle_interval(self):
+        """Longer idles weight DRIPS more; the saving rises toward the
+        pure-DRIPS ratio."""
+        points = workload_sensitivity()
+        savings = [saving for _idle, saving in points]
+        assert savings == sorted(savings)
+
+    def test_30s_point_matches_headline(self):
+        points = dict(workload_sensitivity())
+        assert points[30.0] == pytest.approx(0.22, abs=0.01)
+
+    def test_short_idles_dilute_saving(self):
+        points = dict(workload_sensitivity())
+        assert points[5.0] < points[30.0]

@@ -1,0 +1,171 @@
+"""Tests for the integrity tree: geometry, verification, tamper detection."""
+
+import pytest
+
+from repro.errors import SecurityError
+from repro.memory.dram import DRAMDevice
+from repro.sgx.cache import MEECache
+from repro.sgx.crypto import MacKey, derive_key, pack_counter
+from repro.sgx.integrity_tree import (
+    ARITY,
+    BLOCK_SIZE,
+    IntegrityTree,
+    TreeGeometry,
+)
+from repro.units import GIB
+
+MASTER = b"fuse-master-key-0123456789abcdef"
+REGION_BASE = 1 << 20
+
+
+def make_tree(data_size=8 * 1024, cached=True):
+    device = DRAMDevice("dram", capacity_bytes=256 * (1 << 20))
+    geometry = TreeGeometry.for_data_size(REGION_BASE, data_size)
+    mac = MacKey(derive_key(MASTER, "mac"))
+    tree = IntegrityTree(geometry, device, mac, MEECache() if cached else None)
+    tree.initialize()
+    return device, geometry, tree
+
+
+class TestGeometry:
+    def test_block_count_rounds_up(self):
+        geometry = TreeGeometry.for_data_size(0, 100)
+        assert geometry.data_blocks == 2  # 100 bytes -> 2 x 64 B blocks
+
+    def test_levels_shrink_by_arity(self):
+        geometry = TreeGeometry.for_data_size(0, 3200 * BLOCK_SIZE)
+        assert geometry.level_counts == (400, 50, 7, 1)
+        assert geometry.levels == 4
+
+    def test_single_block_has_one_level(self):
+        geometry = TreeGeometry.for_data_size(0, 64)
+        assert geometry.level_counts == (1,)
+
+    def test_layout_is_disjoint_and_ordered(self):
+        geometry = TreeGeometry.for_data_size(REGION_BASE, 4096)
+        assert geometry.data_offset == REGION_BASE
+        assert geometry.versions_offset == REGION_BASE + geometry.data_blocks * BLOCK_SIZE
+        assert geometry.leaf_macs_offset > geometry.versions_offset
+        assert geometry.level_offset(1) > geometry.leaf_macs_offset
+
+    def test_total_size_accounts_metadata(self):
+        geometry = TreeGeometry.for_data_size(0, 4096)
+        blocks = geometry.data_blocks
+        expected = blocks * 64 + blocks * 16 + sum(geometry.level_counts) * 16
+        assert geometry.total_size == expected
+
+    def test_paper_capacity_claim(self):
+        """Sec. 6.3: 200 KB context needs <0.3% of a 64 MB SGX region."""
+        geometry = TreeGeometry.for_data_size(0, 200 * 1024)
+        assert geometry.total_size / (64 * (1 << 20)) < 0.005
+
+    def test_out_of_range_block_rejected(self):
+        geometry = TreeGeometry.for_data_size(0, 4096)
+        with pytest.raises(SecurityError):
+            geometry.block_address(geometry.data_blocks)
+        with pytest.raises(SecurityError):
+            geometry.node_address(1, 10**6)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(SecurityError):
+            TreeGeometry.for_data_size(0, 0)
+
+
+class TestVerifyUpdate:
+    def test_initialized_zero_block_verifies(self):
+        device, geometry, tree = make_tree()
+        ciphertext = device._store.read(geometry.block_address(0), BLOCK_SIZE)
+        assert tree.verify_block(0, ciphertext) == 0
+
+    def test_update_then_verify(self):
+        device, geometry, tree = make_tree()
+        ciphertext = bytes(range(64))
+        device.write(geometry.block_address(3), ciphertext)
+        tree.update_block(3, 1, ciphertext)
+        assert tree.verify_block(3, ciphertext) == 1
+
+    def test_root_counter_increments_per_update(self):
+        device, geometry, tree = make_tree()
+        ciphertext = bytes(64)
+        for expected in range(1, 4):
+            device.write(geometry.block_address(0), ciphertext)
+            tree.update_block(0, expected, ciphertext)
+            assert tree.root_counter == expected
+
+    def test_cache_hit_skips_upper_walk(self):
+        device, geometry, tree = make_tree()
+        ciphertext = device._store.read(geometry.block_address(0), BLOCK_SIZE)
+        tree.verify_block(0, ciphertext)
+        accesses_after_first = tree.metadata_accesses
+        tree.verify_block(0, ciphertext)
+        second_cost = tree.metadata_accesses - accesses_after_first
+        assert second_cost < accesses_after_first
+
+
+class TestTamperDetection:
+    def test_flipped_ciphertext_detected(self):
+        device, geometry, tree = make_tree()
+        ciphertext = bytes(64)
+        device.write(geometry.block_address(0), ciphertext)
+        tree.update_block(0, 1, ciphertext)
+        tampered = b"\xff" + ciphertext[1:]
+        with pytest.raises(SecurityError, match="data MAC"):
+            tree.verify_block(0, tampered)
+
+    def test_tampered_version_detected(self):
+        device, geometry, tree = make_tree(cached=False)
+        ciphertext = bytes(64)
+        device.write(geometry.block_address(0), ciphertext)
+        tree.update_block(0, 1, ciphertext)
+        device._store.write(geometry.version_address(0), pack_counter(99))
+        with pytest.raises(SecurityError):
+            tree.verify_block(0, ciphertext)
+
+    def test_tampered_node_mac_detected(self):
+        device, geometry, tree = make_tree(cached=False)
+        ciphertext = bytes(64)
+        device.write(geometry.block_address(0), ciphertext)
+        tree.update_block(0, 1, ciphertext)
+        node_addr = geometry.node_address(1, 0)
+        device._store.write(node_addr + 8, b"\x00" * 8)  # clobber the MAC
+        with pytest.raises(SecurityError, match="tree MAC"):
+            tree.verify_block(0, ciphertext)
+
+    def test_wholesale_replay_detected_by_root(self):
+        """Snapshot-and-restore of the whole region must fail against the
+        on-chip root counter — the freshness guarantee of Sec. 6.2."""
+        device, geometry, tree = make_tree(cached=False)
+        block_addr = geometry.block_address(0)
+        old_cipher = bytes(64)
+        device.write(block_addr, old_cipher)
+        tree.update_block(0, 1, old_cipher)
+        # attacker snapshots ALL metadata + data for block 0's path
+        snapshot_ranges = [
+            (block_addr, BLOCK_SIZE),
+            (geometry.version_address(0), 8),
+            (geometry.leaf_mac_address(0), 8),
+        ]
+        for level in range(1, geometry.levels + 1):
+            snapshot_ranges.append((geometry.node_address(level, 0), 16))
+        snapshot = {addr: device._store.read(addr, size) for addr, size in snapshot_ranges}
+        # legitimate new write
+        new_cipher = bytes([1]) * 64
+        device.write(block_addr, new_cipher)
+        tree.update_block(0, 2, new_cipher)
+        # attacker restores the old snapshot (internally consistent!)
+        for addr, data in snapshot.items():
+            device._store.write(addr, data)
+        with pytest.raises(SecurityError, match="root counter"):
+            tree.verify_block(0, snapshot[block_addr])
+
+    def test_version_rollback_under_valid_group_detected(self):
+        device, geometry, tree = make_tree(cached=False)
+        ciphertext = bytes(64)
+        device.write(geometry.block_address(0), ciphertext)
+        tree.update_block(0, 1, ciphertext)
+        device.write(geometry.block_address(0), ciphertext)
+        tree.update_block(0, 2, ciphertext)
+        # roll only the leaf version back to 1: level-1 MAC no longer matches
+        device._store.write(geometry.version_address(0), pack_counter(1))
+        with pytest.raises(SecurityError):
+            tree.verify_block(0, ciphertext)

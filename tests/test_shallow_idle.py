@@ -1,0 +1,117 @@
+"""Tests for shallow idle states and governed mixed-idle behaviour."""
+
+import pytest
+
+from repro.core.techniques import TechniqueSet
+from repro.errors import FlowError
+from repro.processor.cstates import CState
+from repro.system.flows import FlowController
+from repro.system.states import PlatformState
+
+from _platform import build_platform
+
+
+def make(techniques=None):
+    platform = build_platform(
+        techniques if techniques is not None else TechniqueSet.baseline(),
+        small_context=True,
+    )
+    flows = FlowController(platform)
+    platform.boot()
+    return platform, flows
+
+
+class TestShallowIdle:
+    def test_c8_round_trip(self):
+        platform, flows = make()
+        woke = []
+        flows.set_active_callback(lambda event: woke.append(event))
+        flows.request_shallow_idle(CState.C8, wake_delay_s=0.01)
+        platform.kernel.run(max_events=10_000)
+        assert platform.state is PlatformState.ACTIVE
+        assert len(woke) == 1
+        assert "shallow-C8" in woke[0].detail
+
+    def test_shallow_power_between_drips_and_active(self):
+        platform, flows = make()
+        flows.request_shallow_idle(CState.C6, wake_delay_s=0.05)
+        platform.kernel.run(until_ps=platform.kernel.now + 20 * 10**9)
+        assert platform.state is PlatformState.DRIPS  # residency-wise idle
+        power = platform.platform_power()
+        assert 0.060 < power < 3.0
+        assert power == pytest.approx(0.30, abs=0.02)  # the C6 ladder level
+        platform.kernel.run(max_events=10_000)
+
+    def test_shallow_exit_faster_than_drips_exit(self):
+        platform, flows = make()
+        durations = {}
+
+        def woke(_event):
+            durations["end"] = platform.kernel.now
+
+        flows.set_active_callback(woke)
+        flows.request_shallow_idle(CState.C2, wake_delay_s=0.001)
+        platform.kernel.run(max_events=10_000)
+        total = durations["end"]
+        # entry 5 us + idle 1 ms + exit 5 us: far below a DRIPS cycle
+        assert total < 1.2 * 10**9
+
+    def test_c0_and_c10_rejected(self):
+        platform, flows = make()
+        with pytest.raises(FlowError):
+            flows.request_shallow_idle(CState.C0, wake_delay_s=0.01)
+        with pytest.raises(FlowError):
+            flows.request_shallow_idle(CState.C10, wake_delay_s=0.01)
+
+    def test_invalid_delay_rejected(self):
+        platform, flows = make()
+        with pytest.raises(FlowError):
+            flows.request_shallow_idle(CState.C6, wake_delay_s=0.0)
+
+    def test_no_context_machinery_touched(self):
+        """Shallow idles never save context or gate the IO bank."""
+        platform, flows = make(TechniqueSet.odrips())
+        flows.request_shallow_idle(CState.C8, wake_delay_s=0.01)
+        platform.kernel.run(max_events=10_000)
+        assert platform.compute.expected_context is None  # never captured
+        assert not platform.aon_io_bank.gated
+        assert platform.board.fast_xtal.enabled
+
+
+class TestGovernedMix:
+    def test_governed_sequence_of_idles(self):
+        """Replay a mixed trace of idle opportunities through the PMU's
+        LTR/TNTE selection, taking shallow or DRIPS paths accordingly."""
+        from repro.units import ms_to_ps, us_to_ps
+
+        platform, flows = make()
+        opportunities = [
+            (us_to_ps(80), ms_to_ps(2), 0.002),       # tight LTR -> shallow
+            (ms_to_ps(10), ms_to_ps(30_000), 0.05),   # long idle -> DRIPS
+            (ms_to_ps(5), us_to_ps(400), 0.0004),     # imminent timer -> shallow
+        ]
+        chosen = []
+        index = {"i": 0}
+
+        def next_idle(_event=None):
+            if index["i"] >= len(opportunities):
+                return
+            ltr, tnte, idle_s = opportunities[index["i"]]
+            index["i"] += 1
+            state = platform.pmu.select_idle_state(ltr, tnte)
+            chosen.append(state)
+            if state is CState.C10:
+                platform.pmu.schedule_timer_event(
+                    platform.next_timer_target(idle_s)
+                )
+                flows.request_drips()
+            else:
+                flows.request_shallow_idle(state, idle_s)
+
+        flows.set_active_callback(next_idle)
+        next_idle()
+        platform.kernel.run(max_events=200_000)
+        assert platform.state is PlatformState.ACTIVE
+        assert chosen[1] is CState.C10
+        assert chosen[0] is not CState.C10
+        assert chosen[2] is not CState.C10

@@ -1,0 +1,176 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Kernel
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self, kernel):
+        assert kernel.now == 0
+        assert kernel.now_seconds == 0.0
+
+    def test_schedule_and_run_advances_time(self, kernel):
+        fired = []
+        kernel.schedule(1000, lambda: fired.append(kernel.now))
+        kernel.run()
+        assert fired == [1000]
+        assert kernel.now == 1000
+
+    def test_events_fire_in_time_order(self, kernel):
+        order = []
+        kernel.schedule(300, lambda: order.append("c"))
+        kernel.schedule(100, lambda: order.append("a"))
+        kernel.schedule(200, lambda: order.append("b"))
+        kernel.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self, kernel):
+        order = []
+        for name in "abcd":
+            kernel.schedule(500, lambda n=name: order.append(n))
+        kernel.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_call_soon_runs_at_current_time(self, kernel):
+        times = []
+        kernel.schedule(100, lambda: kernel.call_soon(lambda: times.append(kernel.now)))
+        kernel.run()
+        assert times == [100]
+
+    def test_negative_delay_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            kernel.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self, kernel):
+        kernel.schedule(100, lambda: None)
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.schedule_at(50, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self, kernel):
+        seen = []
+
+        def first():
+            kernel.schedule(50, lambda: seen.append(kernel.now))
+
+        kernel.schedule(100, first)
+        kernel.run()
+        assert seen == [150]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, kernel):
+        fired = []
+        event = kernel.schedule(100, lambda: fired.append(1))
+        event.cancel()
+        kernel.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, kernel):
+        event = kernel.schedule(100, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert not event.pending
+
+    def test_pending_reflects_lifecycle(self, kernel):
+        event = kernel.schedule(100, lambda: None)
+        assert event.pending
+        kernel.run()
+        assert not event.pending
+        assert event.fired
+
+    def test_pending_events_excludes_cancelled(self, kernel):
+        keep = kernel.schedule(100, lambda: None)
+        drop = kernel.schedule(200, lambda: None)
+        drop.cancel()
+        assert kernel.pending_events == 1
+        assert keep.pending
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, kernel):
+        fired = []
+        kernel.schedule(100, lambda: fired.append("early"))
+        kernel.schedule(10_000, lambda: fired.append("late"))
+        kernel.run(until_ps=5000)
+        assert fired == ["early"]
+        assert kernel.now == 5000  # advanced to the window edge exactly
+
+    def test_run_until_then_resume(self, kernel):
+        fired = []
+        kernel.schedule(10_000, lambda: fired.append("late"))
+        kernel.run(until_ps=5000)
+        kernel.run()
+        assert fired == ["late"]
+
+    def test_run_max_events(self, kernel):
+        fired = []
+        for index in range(5):
+            kernel.schedule(100 + index, lambda i=index: fired.append(i))
+        kernel.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_stop_halts_run(self, kernel):
+        fired = []
+
+        def first():
+            fired.append(1)
+            kernel.stop()
+
+        kernel.schedule(100, first)
+        kernel.schedule(200, lambda: fired.append(2))
+        kernel.run()
+        assert fired == [1]
+        assert kernel.pending_events == 1
+
+    def test_run_is_not_reentrant(self, kernel):
+        error = {}
+
+        def reenter():
+            try:
+                kernel.run()
+            except SimulationError as exc:
+                error["raised"] = exc
+
+        kernel.schedule(100, reenter)
+        kernel.run()
+        assert "raised" in error
+
+    def test_events_fired_counter(self, kernel):
+        for delay in (10, 20, 30):
+            kernel.schedule(delay, lambda: None)
+        kernel.run()
+        assert kernel.events_fired == 3
+
+    def test_step_returns_false_when_empty(self, kernel):
+        assert kernel.step() is False
+
+
+class TestAdvanceTo:
+    def test_advance_over_idle_gap(self, kernel):
+        kernel.advance_to(12345)
+        assert kernel.now == 12345
+
+    def test_advance_backwards_rejected(self, kernel):
+        kernel.advance_to(100)
+        with pytest.raises(SimulationError):
+            kernel.advance_to(50)
+
+    def test_advance_over_pending_event_rejected(self, kernel):
+        kernel.schedule(100, lambda: None)
+        with pytest.raises(SimulationError):
+            kernel.advance_to(200)
+
+    def test_advance_over_cancelled_event_allowed(self, kernel):
+        event = kernel.schedule(100, lambda: None)
+        event.cancel()
+        kernel.advance_to(200)
+        assert kernel.now == 200
+
+    def test_next_event_time(self, kernel):
+        assert kernel.next_event_time() is None
+        kernel.schedule(500, lambda: None)
+        kernel.schedule(300, lambda: None)
+        assert kernel.next_event_time() == 300

@@ -1,0 +1,114 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import Process, WaitSignal
+from repro.sim.signals import Signal
+
+
+class TestDelays:
+    def test_sequence_of_delays(self, kernel):
+        times = []
+
+        def body():
+            times.append(kernel.now)
+            yield 100
+            times.append(kernel.now)
+            yield 250
+            times.append(kernel.now)
+
+        process = Process(kernel, body())
+        kernel.run()
+        assert times == [0, 100, 350]
+        assert process.finished
+
+    def test_zero_delay_continues_same_time(self, kernel):
+        times = []
+
+        def body():
+            yield 0
+            times.append(kernel.now)
+
+        Process(kernel, body())
+        kernel.run()
+        assert times == [0]
+
+    def test_negative_delay_raises(self, kernel):
+        def body():
+            yield -5
+
+        Process(kernel, body())
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_unsupported_yield_raises(self, kernel):
+        def body():
+            yield "nonsense"
+
+        Process(kernel, body())
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+
+class TestSignalWaits:
+    def test_wait_for_specific_value(self, kernel):
+        signal = Signal("go", initial=0)
+        events = []
+
+        def body():
+            yield WaitSignal(signal, value=2)
+            events.append(kernel.now)
+
+        Process(kernel, body())
+        kernel.schedule(100, lambda: signal.set(1))
+        kernel.schedule(200, lambda: signal.set(2))
+        kernel.run()
+        assert events == [200]
+
+    def test_wait_any_change(self, kernel):
+        signal = Signal("go", initial=0)
+        events = []
+
+        def body():
+            yield WaitSignal(signal)
+            events.append(signal.value)
+
+        Process(kernel, body())
+        kernel.schedule(50, lambda: signal.set(9))
+        kernel.run()
+        assert events == [9]
+
+    def test_wait_already_satisfied_resumes_immediately(self, kernel):
+        signal = Signal("go", initial=7)
+        events = []
+
+        def body():
+            yield WaitSignal(signal, value=7)
+            events.append(kernel.now)
+
+        Process(kernel, body())
+        kernel.run()
+        assert events == [0]
+
+    def test_abort_stops_process(self, kernel):
+        ran = []
+
+        def body():
+            yield 100
+            ran.append(1)
+
+        process = Process(kernel, body())
+        process.abort()
+        kernel.run()
+        assert ran == []
+        assert process.finished
+
+    def test_process_return_value(self, kernel):
+        def body():
+            yield 10
+            return 42
+
+        process = Process(kernel, body())
+        kernel.run()
+        assert process.result == 42

@@ -1,0 +1,102 @@
+"""Tests for signals and edge detection."""
+
+from repro.sim.signals import EdgeDetector, Signal, latch_on_rising
+
+
+class TestSignal:
+    def test_initial_value(self):
+        signal = Signal("s", initial=5)
+        assert signal.value == 5
+
+    def test_set_changes_value(self):
+        signal = Signal("s")
+        signal.set(7)
+        assert signal.value == 7
+
+    def test_watcher_sees_old_and_new(self):
+        signal = Signal("s", initial=1)
+        seen = []
+        signal.watch(lambda s, old, new: seen.append((old, new)))
+        signal.set(2)
+        assert seen == [(1, 2)]
+
+    def test_no_notification_on_same_value(self):
+        signal = Signal("s", initial=3)
+        seen = []
+        signal.watch(lambda s, old, new: seen.append(new))
+        signal.set(3)
+        assert seen == []
+        assert signal.change_count == 0
+
+    def test_unsubscribe_stops_notifications(self):
+        signal = Signal("s")
+        seen = []
+        unsubscribe = signal.watch(lambda s, old, new: seen.append(new))
+        signal.set(1)
+        unsubscribe()
+        signal.set(2)
+        assert seen == [1]
+
+    def test_unsubscribe_twice_is_safe(self):
+        signal = Signal("s")
+        unsubscribe = signal.watch(lambda s, old, new: None)
+        unsubscribe()
+        unsubscribe()
+
+    def test_boolean_helpers(self):
+        signal = Signal("s", initial=False)
+        signal.assert_()
+        assert bool(signal)
+        signal.deassert()
+        assert not bool(signal)
+
+    def test_change_count(self):
+        signal = Signal("s", initial=0)
+        for value in (1, 2, 2, 3):
+            signal.set(value)
+        assert signal.change_count == 3
+
+    def test_multiple_watchers_all_fire(self):
+        signal = Signal("s")
+        counts = [0, 0]
+        signal.watch(lambda *a: counts.__setitem__(0, counts[0] + 1))
+        signal.watch(lambda *a: counts.__setitem__(1, counts[1] + 1))
+        signal.set(1)
+        assert counts == [1, 1]
+
+
+class TestEdgeDetector:
+    def test_counts_rising_and_falling(self):
+        signal = Signal("s", initial=False)
+        detector = EdgeDetector(signal)
+        signal.set(True)
+        signal.set(False)
+        signal.set(True)
+        assert detector.rising == 2
+        assert detector.falling == 1
+
+    def test_detach_stops_counting(self):
+        signal = Signal("s", initial=False)
+        detector = EdgeDetector(signal)
+        detector.detach()
+        signal.set(True)
+        assert detector.rising == 0
+
+
+class TestLatchOnRising:
+    def test_fires_only_on_rising(self):
+        signal = Signal("s", initial=False)
+        fired = []
+        latch_on_rising(signal, lambda: fired.append(1))
+        signal.set(True)
+        signal.set(False)
+        signal.set(True)
+        assert len(fired) == 2
+
+    def test_unsubscribe(self):
+        signal = Signal("s", initial=False)
+        fired = []
+        unsubscribe = latch_on_rising(signal, lambda: fired.append(1))
+        unsubscribe()
+        signal.set(True)
+        assert fired == []

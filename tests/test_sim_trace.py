@@ -1,0 +1,91 @@
+"""Tests for the trace recorder."""
+
+import pytest
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestRecording:
+    def test_samples_in_order(self, trace):
+        trace.record(0, "a", 1)
+        trace.record(10, "a", 2)
+        samples = trace.samples("a")
+        assert [(s.time_ps, s.value) for s in samples] == [(0, 1), (10, 2)]
+
+    def test_backwards_time_within_channel_rejected(self, trace):
+        trace.record(100, "a", 1)
+        with pytest.raises(ValueError):
+            trace.record(50, "a", 2)
+
+    def test_same_time_allowed(self, trace):
+        trace.record(100, "a", 1)
+        trace.record(100, "a", 2)
+        assert len(trace.samples("a")) == 2
+
+    def test_channels_sorted(self, trace):
+        trace.record(0, "zeta", 1)
+        trace.record(0, "alpha", 1)
+        assert trace.channels() == ["alpha", "zeta"]
+
+    def test_len_counts_all_samples(self, trace):
+        trace.record(0, "a", 1)
+        trace.record(0, "b", 1)
+        assert len(trace) == 2
+
+    def test_last(self, trace):
+        assert trace.last("missing") is None
+        trace.record(0, "a", 1)
+        trace.record(5, "a", 9)
+        assert trace.last("a").value == 9
+
+
+class TestQueries:
+    def test_value_at_step_semantics(self, trace):
+        trace.record(0, "power", 10)
+        trace.record(100, "power", 20)
+        assert trace.value_at("power", 50) == 10
+        assert trace.value_at("power", 100) == 20
+        assert trace.value_at("power", 150) == 20
+
+    def test_value_at_before_first_sample(self, trace):
+        trace.record(100, "power", 20)
+        assert trace.value_at("power", 50) is None
+
+    def test_intervals(self, trace):
+        trace.record(0, "s", "a")
+        trace.record(100, "s", "b")
+        intervals = list(trace.intervals("s", end_ps=250))
+        assert intervals == [(0, 100, "a"), (100, 250, "b")]
+
+    def test_intervals_clip_to_end(self, trace):
+        trace.record(0, "s", "a")
+        trace.record(100, "s", "b")
+        intervals = list(trace.intervals("s", end_ps=60))
+        assert intervals == [(0, 60, "a")]
+
+    def test_dwell_times(self, trace):
+        trace.record(0, "s", "idle")
+        trace.record(100, "s", "busy")
+        trace.record(150, "s", "idle")
+        dwell = trace.dwell_times("s", end_ps=300)
+        assert dwell == {"idle": 100 + 150, "busy": 50}
+
+    def test_transitions(self, trace):
+        trace.record(0, "s", "a")
+        trace.record(10, "s", "a")  # repeated value: not a transition
+        trace.record(20, "s", "b")
+        assert trace.transitions("s") == [(20, "a", "b")]
+
+    def test_ordering_by_first_sample(self, trace):
+        trace.record(50, "second", 1)
+        trace.record(10, "first", 1)
+        trace.record(90, "third", 1)
+        assert trace.ordering(["third", "first", "second"]) == [
+            "first",
+            "second",
+            "third",
+        ]
+
+    def test_ordering_skips_missing_channels(self, trace):
+        trace.record(10, "present", 1)
+        assert trace.ordering(["present", "absent"]) == ["present"]

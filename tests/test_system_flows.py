@@ -1,0 +1,217 @@
+"""Tests for the DRIPS/ODRIPS entry and exit flows."""
+
+import pytest
+
+from repro.core.techniques import ContextStore, Technique, TechniqueSet
+from repro.errors import FlowError
+from repro.io.wake import WakeEventType
+from repro.system.flows import FlowController
+from repro.system.states import PlatformState
+from repro.memory.dram import DRAMState
+
+from _platform import build_platform
+
+
+def run_one_cycle(techniques, idle_s=0.05, small_context=True):
+    """Boot, enter DRIPS, wake by timer, return (platform, flows)."""
+    platform = build_platform(techniques, small_context=small_context)
+    flows = FlowController(platform)
+    woke = []
+    flows.set_active_callback(lambda event: woke.append(event))
+    platform.boot()
+    platform.pmu.schedule_timer_event(platform.next_timer_target(idle_s))
+    flows.request_drips()
+    platform.kernel.run(max_events=100_000)
+    assert woke, "platform never woke up"
+    return platform, flows, woke
+
+
+ALL_STORES = [
+    TechniqueSet.baseline(),
+    TechniqueSet.wake_up_off_only(),
+    TechniqueSet.with_io_gating(),
+    TechniqueSet.ctx_sgx_dram_only(),
+    TechniqueSet.odrips(),
+    TechniqueSet.odrips_mram(),
+    TechniqueSet.odrips_pcm(),
+    TechniqueSet({Technique.CTX_SGX_DRAM}, ContextStore.CHIPSET_SRAM),
+]
+
+
+class TestFullCycleEveryConfiguration:
+    @pytest.mark.parametrize("techniques", ALL_STORES, ids=lambda t: t.label())
+    def test_cycle_completes_and_context_verified(self, techniques):
+        platform, flows, woke = run_one_cycle(techniques)
+        assert platform.state is PlatformState.ACTIVE
+        assert woke[0].event_type is WakeEventType.TIMER
+        # the flows verified the restored context internally; re-check:
+        assert platform.compute.expected_context is not None
+        assert flows.stats.entry_latencies_ps and flows.stats.exit_latencies_ps
+
+    @pytest.mark.parametrize("techniques", ALL_STORES, ids=lambda t: t.label())
+    def test_state_sequence(self, techniques):
+        platform, _flows, _woke = run_one_cycle(techniques)
+        states = [value for _t, value in
+                  [(s.time_ps, s.value) for s in platform.trace.samples("state")]]
+        assert states[:1] == ["boot"]
+        assert states[1:5] == ["active", "entry", "drips", "exit"]
+        assert states[5] == "active"
+
+
+class TestBaselineFlow:
+    def test_latencies_match_paper(self):
+        """Sec. 7: entry ~200 us, exit ~300 us."""
+        _platform, flows, _ = run_one_cycle(TechniqueSet.baseline())
+        assert flows.stats.entry_latencies_ps[0] == pytest.approx(200e6, rel=0.05)
+        assert flows.stats.exit_latencies_ps[0] == pytest.approx(300e6, rel=0.05)
+
+    def test_dram_in_self_refresh_during_drips(self):
+        platform = build_platform(TechniqueSet.baseline())
+        flows = FlowController(platform)
+        platform.boot()
+        platform.pmu.schedule_timer_event(platform.next_timer_target(0.05))
+        flows.request_drips()
+        # run until we are inside DRIPS
+        platform.kernel.run(until_ps=platform.kernel.now + 10 * 10**9)
+        assert platform.state is PlatformState.DRIPS
+        assert platform.board.memory.state is DRAMState.SELF_REFRESH
+        assert platform.memory_controller.in_self_refresh
+        platform.kernel.run(max_events=100_000)
+
+    def test_llc_flushed_before_drips(self):
+        platform, _flows, _ = run_one_cycle(TechniqueSet.baseline())
+        assert platform.llc.flush_count == 1
+
+    def test_entry_without_timer_event_rejected(self):
+        platform = build_platform(TechniqueSet.baseline())
+        flows = FlowController(platform)
+        platform.boot()
+        with pytest.raises(FlowError):
+            flows.request_drips()
+
+    def test_entry_from_non_active_rejected(self):
+        platform = build_platform(TechniqueSet.baseline())
+        flows = FlowController(platform)
+        with pytest.raises(FlowError):
+            flows.request_drips()
+
+
+class TestODRIPSFlow:
+    def test_fast_crystal_off_in_odrips(self):
+        platform = build_platform(TechniqueSet.odrips(), small_context=True)
+        flows = FlowController(platform)
+        platform.boot()
+        platform.pmu.schedule_timer_event(platform.next_timer_target(0.05))
+        flows.request_drips()
+        platform.kernel.run(until_ps=platform.kernel.now + 10 * 10**9)
+        assert platform.state is PlatformState.DRIPS
+        assert not platform.board.fast_xtal.enabled
+        assert platform.aon_io_bank.gated
+        assert platform.sr_srams.sa_sram.state.value == "off"
+        platform.kernel.run(max_events=100_000)
+        assert platform.board.fast_xtal.enabled  # back on after exit
+
+    def test_exit_latency_tens_of_us_over_baseline(self):
+        """Sec. 3: ODRIPS affords 'milliseconds' but adds only tens of us."""
+        _p1, base_flows, _ = run_one_cycle(TechniqueSet.baseline())
+        _p2, odrips_flows, _ = run_one_cycle(TechniqueSet.odrips())
+        extra = odrips_flows.stats.exit_latencies_ps[0] - base_flows.stats.exit_latencies_ps[0]
+        assert 10e6 < extra < 200e6  # between 10 us and 200 us
+
+    def test_timer_consistency_across_sleep(self):
+        """The TSC must track wall time through freeze/handoff/restore."""
+        platform, _flows, _ = run_one_cycle(TechniqueSet.odrips(), idle_s=0.2)
+        now = platform.kernel.now
+        tsc = platform.pmu.tsc.read(now)
+        wall_cycles = platform.board.fast_clock.effective_hz * (now / 1e12)
+        # within a handful of cycles + compensation constants
+        assert abs(tsc - wall_cycles) < 200
+
+    def test_thermal_wake_through_chipset(self):
+        platform = build_platform(TechniqueSet.odrips(), small_context=True)
+        flows = FlowController(platform)
+        woke = []
+        flows.set_active_callback(lambda event: woke.append(event))
+        platform.boot()
+        platform.pmu.schedule_timer_event(platform.next_timer_target(10.0))
+        flows.request_drips()
+        platform.kernel.run(until_ps=platform.kernel.now + 10 * 10**9)
+        assert platform.state is PlatformState.DRIPS
+        platform.board.ec.force_thermal_event()
+        platform.kernel.run(max_events=100_000)
+        assert woke and woke[0].event_type is WakeEventType.THERMAL
+
+    def test_external_wake_baseline_path(self):
+        platform = build_platform(TechniqueSet.baseline())
+        flows = FlowController(platform)
+        woke = []
+        flows.set_active_callback(lambda event: woke.append(event))
+        platform.boot()
+        platform.pmu.schedule_timer_event(platform.next_timer_target(10.0))
+        flows.request_drips()
+        platform.kernel.run(until_ps=platform.kernel.now + 10 * 10**9)
+        flows.external_wake(WakeEventType.NETWORK, "packet")
+        platform.kernel.run(max_events=100_000)
+        assert woke and woke[0].event_type is WakeEventType.NETWORK
+
+    def test_external_wake_while_active_is_noop(self):
+        platform = build_platform(TechniqueSet.baseline())
+        flows = FlowController(platform)
+        platform.boot()
+        flows.external_wake(WakeEventType.NETWORK)
+        assert platform.state is PlatformState.ACTIVE
+
+
+class TestContextLatencyStats:
+    def test_mee_save_restore_recorded(self):
+        _platform, flows, _ = run_one_cycle(TechniqueSet.odrips())
+        assert len(flows.stats.ctx_save_latencies_ps) == 1
+        assert len(flows.stats.ctx_restore_latencies_ps) == 1
+        assert flows.stats.ctx_save_latencies_ps[0] > 0
+
+    def test_pcm_context_rotates_across_slots(self):
+        """Wear leveling: successive DRIPS entries write different slots
+        of the PCM protected region (Sec. 6.1 endurance concern)."""
+        platform = build_platform(TechniqueSet.odrips_pcm(), small_context=True)
+        flows = FlowController(platform)
+        count = {"cycles": 0}
+
+        def again(_event):
+            count["cycles"] += 1
+            if count["cycles"] < 3:
+                platform.pmu.schedule_timer_event(platform.next_timer_target(0.02))
+                flows.request_drips()
+
+        flows.set_active_callback(again)
+        platform.boot()
+        platform.pmu.schedule_timer_event(platform.next_timer_target(0.02))
+        flows.request_drips()
+        platform.kernel.run(max_events=300_000)
+        assert count["cycles"] == 3
+        allocator = platform.context_allocator
+        assert allocator is not None
+        assert len(allocator.writes_per_slot) == 3  # three distinct slots
+        assert allocator.wear_ratio() <= allocator.slots
+
+    def test_dram_sgx_has_no_rotation(self):
+        platform = build_platform(TechniqueSet.odrips(), small_context=True)
+        assert platform.context_allocator is None
+
+    def test_repeated_cycles_use_fresh_context(self):
+        platform = build_platform(TechniqueSet.odrips(), small_context=True)
+        flows = FlowController(platform)
+        count = {"cycles": 0}
+
+        def again(_event):
+            count["cycles"] += 1
+            if count["cycles"] < 3:
+                platform.pmu.schedule_timer_event(platform.next_timer_target(0.02))
+                flows.request_drips()
+
+        flows.set_active_callback(again)
+        platform.boot()
+        platform.pmu.schedule_timer_event(platform.next_timer_target(0.02))
+        flows.request_drips()
+        platform.kernel.run(max_events=300_000)
+        assert count["cycles"] == 3
+        assert len(flows.stats.entry_latencies_ps) == 3

@@ -1,0 +1,103 @@
+"""Tests for the Step calibration (Sec. 4.1.3, Equations 2-4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks.crystal import CrystalOscillator
+from repro.errors import TimerError
+from repro.timers.calibration import (
+    StepCalibrator,
+    fractional_bits_for_precision,
+    integer_bits_for_ratio,
+    worst_case_drift_ppb,
+)
+
+
+class TestRegisterSizing:
+    def test_equation_2_integer_bits(self):
+        """m = floor(log2(24 MHz / 32.768 kHz)) + 1 = 10."""
+        assert integer_bits_for_ratio(24e6, 32768.0) == 10
+
+    def test_equation_4_fractional_bits(self):
+        """f = 21 for 1 ppb at 24 MHz / 32.768 kHz."""
+        assert fractional_bits_for_precision(24e6, 32768.0, ppb=1.0) == 21
+
+    def test_looser_precision_needs_fewer_bits(self):
+        tight = fractional_bits_for_precision(24e6, 32768.0, ppb=1.0)
+        loose = fractional_bits_for_precision(24e6, 32768.0, ppb=1000.0)
+        assert loose < tight
+
+    def test_faster_clock_needs_more_integer_bits(self):
+        assert integer_bits_for_ratio(100e6, 32768.0) > integer_bits_for_ratio(24e6, 32768.0)
+
+    def test_worst_case_drift_below_target(self):
+        """The f=21 register keeps quantization drift under 1 ppb."""
+        assert worst_case_drift_ppb(24e6, 32768.0, 21) < 1.0
+        assert worst_case_drift_ppb(24e6, 32768.0, 20) >= worst_case_drift_ppb(24e6, 32768.0, 21)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(TimerError):
+            integer_bits_for_ratio(1.0, 2.0)  # fast must exceed slow
+        with pytest.raises(TimerError):
+            fractional_bits_for_precision(24e6, 32768.0, ppb=0.0)
+
+
+class TestCalibrationRun:
+    def make(self, fast_ppm=0.0, slow_ppm=0.0):
+        fast = CrystalOscillator("f", 24e6, ppm_error=fast_ppm)
+        slow = CrystalOscillator("s", 32768.0, ppm_error=slow_ppm)
+        return fast, slow, StepCalibrator.for_precision(fast, slow)
+
+    def test_window_spans_2_to_f_slow_cycles(self):
+        _f, slow, calibrator = self.make()
+        assert calibrator.n_slow == 2**21
+        assert calibrator.duration_ps() == 2**21 * slow.period_ps
+
+    def test_measured_ratio_close_to_true_ratio(self):
+        fast, slow, calibrator = self.make(fast_ppm=37.0, slow_ppm=-12.0)
+        result = calibrator.run(0)
+        true_ratio = fast.effective_hz / slow.effective_hz
+        assert result.measured_ratio == pytest.approx(true_ratio, rel=1e-6)
+        assert result.step.to_float() == pytest.approx(true_ratio, rel=1e-6)
+
+    def test_step_has_sized_registers(self):
+        _f, _s, calibrator = self.make()
+        result = calibrator.run(0)
+        assert result.step.frac_bits == 21
+        assert result.step.int_bits == 10
+        assert result.step.integer_part < 1 << 10
+
+    def test_calibration_window_aligned_to_slow_edge(self):
+        _f, slow, calibrator = self.make()
+        result = calibrator.run(123_456)
+        assert result.start_ps == slow.next_edge(123_456)
+
+    def test_requires_running_crystals(self):
+        fast, slow, calibrator = self.make()
+        fast.disable(0)
+        with pytest.raises(TimerError):
+            calibrator.run(0)
+        fast.enable(0)
+        slow.disable(0)
+        with pytest.raises(TimerError):
+            calibrator.run(0)
+
+    def test_paper_lasts_several_seconds(self):
+        """'This calibration process lasts for several seconds.'"""
+        _f, _s, calibrator = self.make()
+        seconds = calibrator.duration_ps() / 1e12
+        assert 10 < seconds < 120  # 2^21 slow cycles = 64 s
+
+    @given(
+        fast_ppm=st.floats(min_value=-200, max_value=200),
+        slow_ppm=st.floats(min_value=-200, max_value=200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_step_quantization_property(self, fast_ppm, slow_ppm):
+        """The calibrated Step is within one quantum of the true ratio."""
+        fast, slow, calibrator = self.make(fast_ppm, slow_ppm)
+        result = calibrator.run(0)
+        true_ratio = fast.effective_hz / slow.effective_hz
+        # N_fast counting is exact; the only error is edge alignment (<=1
+        # fast count over 2^21 slow cycles) plus the point placement.
+        assert abs(result.step.to_float() - true_ratio) < 2 * result.step.quantum + 1e-6

@@ -1,0 +1,212 @@
+"""Tests for the chipset dual timer and the fast/slow handoff of Fig. 3."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks.clock import DerivedClock
+from repro.clocks.crystal import CrystalOscillator
+from repro.errors import TimerError
+from repro.timers.calibration import StepCalibrator
+from repro.timers.dual_timer import ChipsetDualTimer, TimerMode
+from repro.units import SECOND
+
+
+def make_timer(fast_ppm=10.0, slow_ppm=-5.0, calibrate=True):
+    fast = CrystalOscillator("xtal24", 24e6, ppm_error=fast_ppm)
+    slow = CrystalOscillator("rtc", 32768.0, ppm_error=slow_ppm)
+    calibrator = StepCalibrator.for_precision(fast, slow)
+    timer = ChipsetDualTimer(
+        "dt",
+        DerivedClock("fc", fast),
+        DerivedClock("sc", slow),
+        frac_bits=calibrator.frac_bits,
+    )
+    if calibrate:
+        timer.set_step(calibrator.run(0).step)
+    return fast, slow, timer
+
+
+class TestModes:
+    def test_starts_idle(self):
+        _f, _s, timer = make_timer()
+        assert timer.mode is TimerMode.IDLE
+        with pytest.raises(TimerError):
+            timer.read(0)
+        with pytest.raises(TimerError):
+            timer.time_of_count(1, 0)
+
+    def test_load_fast_enters_fast_mode(self):
+        fast, _s, timer = make_timer()
+        timer.load_fast(10 * fast.period_ps, 1000)
+        assert timer.mode is TimerMode.FAST
+        assert timer.read(10 * fast.period_ps) == 1000
+
+    def test_fast_mode_counts_at_fast_rate(self):
+        fast, _s, timer = make_timer()
+        timer.load_fast(0, 0)
+        assert timer.read(100 * fast.period_ps) == 100
+
+    def test_compensation_added_on_load(self):
+        fast, _s, timer = make_timer()
+        timer.load_fast(0, 1000, compensation_cycles=16)
+        assert timer.read(0) == 1016
+
+    def test_switch_to_slow_requires_fast_mode(self):
+        _f, _s, timer = make_timer()
+        with pytest.raises(TimerError):
+            timer.switch_to_slow(0)
+
+    def test_switch_to_slow_requires_calibration(self):
+        fast, _s, timer = make_timer(calibrate=False)
+        timer.load_fast(0, 0)
+        assert not timer.calibrated
+        with pytest.raises(TimerError):
+            timer.switch_to_slow(timer.next_slow_edge(0))
+
+    def test_switch_to_fast_requires_slow_mode(self):
+        fast, _s, timer = make_timer()
+        timer.load_fast(0, 0)
+        with pytest.raises(TimerError):
+            timer.switch_to_fast(0)
+
+    def test_step_frac_bits_must_match(self):
+        from repro.timers.fixedpoint import FixedPoint
+
+        _f, _s, timer = make_timer(calibrate=False)
+        with pytest.raises(TimerError):
+            timer.set_step(FixedPoint.from_int(700, frac_bits=4))
+
+
+class TestHandoff:
+    def test_round_trip_preserves_count_exactly_at_edges(self):
+        fast, slow, timer = make_timer()
+        timer.load_fast(0, 1_000_000)
+        edge = timer.next_slow_edge(0)
+        value_at_edge = timer.read(edge)
+        timer.switch_to_slow(edge)
+        assert timer.mode is TimerMode.SLOW
+        # ... deep sleep for 5 seconds ...
+        later = edge + 5 * SECOND
+        back_edge = slow.next_edge(later)
+        timer.switch_to_fast(back_edge)
+        got = timer.read(back_edge)
+        truth = value_at_edge + fast.edges_in(edge + 1, back_edge + 1)
+        # quantization at the two handoff edges is at most a few fast counts
+        assert abs(got - truth) <= 2
+
+    def test_slow_mode_read_monotonic(self):
+        _f, slow, timer = make_timer()
+        timer.load_fast(0, 0)
+        edge = timer.next_slow_edge(0)
+        timer.switch_to_slow(edge)
+        previous = -1
+        for k in range(20):
+            value = timer.read(edge + k * slow.period_ps)
+            assert value >= previous
+            previous = value
+
+    def test_slow_mode_rate_approximates_fast_rate(self):
+        fast, _s, timer = make_timer()
+        timer.load_fast(0, 0)
+        edge = timer.next_slow_edge(0)
+        start = timer.read(edge)
+        timer.switch_to_slow(edge)
+        one_second_later = edge + SECOND
+        counted = timer.read(one_second_later) - start
+        assert counted == pytest.approx(fast.effective_hz, rel=1e-4)
+
+    def test_handoff_counter(self):
+        _f, slow, timer = make_timer()
+        timer.load_fast(0, 0)
+        edge = timer.next_slow_edge(0)
+        timer.switch_to_slow(edge)
+        timer.switch_to_fast(slow.next_edge(edge + 1))
+        assert timer.handoff_count == 2
+
+    def test_value_for_processor_includes_compensation(self):
+        fast, _s, timer = make_timer()
+        timer.load_fast(0, 100)
+        assert timer.value_for_processor(0, compensation_cycles=16) == 116
+
+
+class TestDeadlines:
+    def test_fast_mode_deadline(self):
+        fast, _s, timer = make_timer()
+        timer.load_fast(0, 0)
+        when = timer.time_of_count(240, now_ps=0)
+        assert timer.read(when) >= 240
+        assert timer.read(when - fast.period_ps) < 240
+
+    def test_slow_mode_deadline_lands_on_slow_edge(self):
+        fast, slow, timer = make_timer()
+        timer.load_fast(0, 0)
+        edge = timer.next_slow_edge(0)
+        timer.switch_to_slow(edge)
+        target = timer.read(edge) + 24_000_000  # ~1 s of fast counts
+        when = timer.time_of_count(target, now_ps=edge)
+        assert (when - edge) % slow.period_ps == 0
+        assert timer.read(when) >= target
+        assert timer.read(when - slow.period_ps) < target
+
+    def test_deadline_already_met_returns_now(self):
+        _f, _s, timer = make_timer()
+        timer.load_fast(0, 500)
+        assert timer.time_of_count(100, now_ps=12345) == 12345
+
+
+class TestWraparound:
+    def test_fast_timer_wraps_at_64_bits(self):
+        fast, _s, timer = make_timer()
+        timer.load_fast(0, (1 << 64) - 2)
+        assert timer.read(3 * fast.period_ps) == 1  # -2 -> -1 -> 0 -> 1
+
+    def test_slow_timer_raw_wraps_at_64_plus_f_bits(self):
+        fast, slow, timer = make_timer()
+        timer.load_fast(0, (1 << 64) - 1)
+        edge = timer.next_slow_edge(0)
+        timer.switch_to_slow(edge)
+        # after one slow cycle the count passed the 64-bit boundary
+        value = timer.read(edge + slow.period_ps)
+        assert 0 <= value < 1 << 64
+        assert value < 100_000  # wrapped into small positive counts
+
+    def test_handoff_preserves_count_across_wrap(self):
+        fast, slow, timer = make_timer()
+        start = (1 << 64) - 24_000_000  # one simulated second before wrap
+        timer.load_fast(0, start)
+        edge = timer.next_slow_edge(0)
+        value_at_edge = timer.read(edge)
+        timer.switch_to_slow(edge)
+        back_edge = slow.next_edge(edge + 3 * SECOND)
+        timer.switch_to_fast(back_edge)
+        got = timer.read(back_edge)
+        truth = (value_at_edge + fast.edges_in(edge + 1, back_edge + 1)) % (1 << 64)
+        assert abs(got - truth) <= 2
+
+
+class TestDriftProperty:
+    @given(
+        fast_ppm=st.floats(min_value=-100, max_value=100),
+        slow_ppm=st.floats(min_value=-100, max_value=100),
+        sleep_s=st.integers(min_value=1, max_value=600),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_handoff_drift_within_paper_bound(self, fast_ppm, slow_ppm, sleep_s):
+        """Sec. 4.1.3: with m=10/f=21 the counting drift stays ~1 ppb.
+
+        We allow the quantization of the two handoff edges (a few counts)
+        on top of the ppb-scale accumulation bound.
+        """
+        fast, slow, timer = make_timer(fast_ppm, slow_ppm)
+        timer.load_fast(0, 0)
+        edge = timer.next_slow_edge(0)
+        value_at_edge = timer.read(edge)
+        timer.switch_to_slow(edge)
+        back_edge = slow.next_edge(edge + sleep_s * SECOND)
+        timer.switch_to_fast(back_edge)
+        got = timer.read(back_edge)
+        truth = value_at_edge + fast.edges_in(edge + 1, back_edge + 1)
+        elapsed_fast_counts = truth - value_at_edge
+        drift = abs(got - truth)
+        # 1 ppb accumulation + 3 counts of edge quantization
+        assert drift <= max(3.0, 2e-9 * elapsed_fast_counts + 3)

@@ -1,0 +1,118 @@
+"""Tests for the fixed-point arithmetic of the Step / slow timer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TimerError
+from repro.timers.fixedpoint import FixedPoint
+
+
+class TestConstruction:
+    def test_from_int_exact(self):
+        value = FixedPoint.from_int(7, frac_bits=4)
+        assert value.integer_part == 7
+        assert value.fraction_raw == 0
+        assert value.to_float() == 7.0
+
+    def test_from_float_rounds_to_quantum(self):
+        value = FixedPoint.from_float(1.5, frac_bits=1)
+        assert value.raw == 3
+        assert value.to_float() == 1.5
+
+    def test_from_ratio_is_bit_reinterpretation(self):
+        """When denominator is 2^f, the division is just a point placement."""
+        n_fast = 1_536_000_123
+        value = FixedPoint.from_ratio(n_fast, denominator_pow2=21, frac_bits=21)
+        assert value.raw == n_fast
+        assert value.integer_part == n_fast >> 21
+
+    def test_from_ratio_with_shift(self):
+        value = FixedPoint.from_ratio(5, denominator_pow2=0, frac_bits=3)
+        assert value.to_float() == 5.0
+
+    def test_overflow_check(self):
+        FixedPoint.from_int(1023, frac_bits=21, int_bits=10)
+        with pytest.raises(TimerError):
+            FixedPoint.from_int(1024, frac_bits=21, int_bits=10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(TimerError):
+            FixedPoint(-1, 4)
+        with pytest.raises(TimerError):
+            FixedPoint.from_float(-0.5, 4)
+
+    def test_quantum(self):
+        assert FixedPoint.from_int(0, 21).quantum == pytest.approx(2**-21)
+
+
+class TestArithmetic:
+    def test_addition(self):
+        a = FixedPoint.from_float(1.25, 8)
+        b = FixedPoint.from_float(2.5, 8)
+        assert (a + b).to_float() == pytest.approx(3.75)
+
+    def test_subtraction(self):
+        a = FixedPoint.from_float(2.5, 8)
+        b = FixedPoint.from_float(1.25, 8)
+        assert (a - b).to_float() == pytest.approx(1.25)
+
+    def test_subtraction_underflow_rejected(self):
+        a = FixedPoint.from_float(1.0, 8)
+        b = FixedPoint.from_float(2.0, 8)
+        with pytest.raises(TimerError):
+            a - b
+
+    def test_mul_int_exact(self):
+        step = FixedPoint.from_float(732.4375, 4)  # exactly representable
+        total = step.mul_int(1000)
+        assert total.to_float() == pytest.approx(732437.5)
+
+    def test_mismatched_frac_bits_rejected(self):
+        a = FixedPoint.from_int(1, 4)
+        b = FixedPoint.from_int(1, 8)
+        with pytest.raises(TimerError):
+            a + b
+
+    def test_comparison_and_hash(self):
+        a = FixedPoint.from_int(3, 4)
+        b = FixedPoint.from_int(3, 4)
+        c = FixedPoint.from_int(4, 4)
+        assert a == b
+        assert a < c
+        assert a <= b
+        assert hash(a) == hash(b)
+
+    def test_equality_with_other_types(self):
+        assert FixedPoint.from_int(1, 4) != "1"
+
+
+class TestProperties:
+    @given(st.floats(min_value=0, max_value=1000), st.integers(min_value=4, max_value=24))
+    @settings(max_examples=60, deadline=None)
+    def test_quantization_error_bounded(self, value, frac_bits):
+        """from_float is within half a quantum of the true value."""
+        fixed = FixedPoint.from_float(value, frac_bits)
+        assert abs(fixed.to_float() - value) <= 0.5 * 2**-frac_bits
+
+    @given(
+        st.integers(min_value=0, max_value=2**30),
+        st.integers(min_value=0, max_value=2**30),
+        st.integers(min_value=1, max_value=24),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_add_matches_integer_math(self, raw_a, raw_b, frac_bits):
+        a = FixedPoint(raw_a, frac_bits)
+        b = FixedPoint(raw_b, frac_bits)
+        assert (a + b).raw == raw_a + raw_b
+
+    @given(st.integers(min_value=0, max_value=2**25), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_accumulation_is_exact(self, step_raw, count):
+        """Accumulating Step k times equals k*step exactly (no float drift)."""
+        step = FixedPoint(step_raw, 21)
+        accumulated = FixedPoint(0, 21)
+        # closed form instead of a loop for large counts
+        assert step.mul_int(count).raw == step_raw * count
+        for _ in range(min(count, 50)):
+            accumulated = accumulated + step
+        assert accumulated.raw == step_raw * min(count, 50)

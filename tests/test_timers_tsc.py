@@ -1,0 +1,92 @@
+"""Tests for the time-stamp counter."""
+
+import pytest
+
+from repro.errors import TimerError
+from repro.timers.tsc import TimeStampCounter
+
+
+@pytest.fixture
+def tsc(fast_clock):
+    return TimeStampCounter("tsc", fast_clock)
+
+
+class TestCounting:
+    def test_counts_edges_from_zero(self, tsc, fast_clock):
+        period = fast_clock.period_ps
+        assert tsc.read(0) == 0
+        assert tsc.read(period) == 1
+        assert tsc.read(10 * period) == 10
+        assert tsc.read(10 * period + period // 2) == 10
+
+    def test_load_rebases(self, tsc, fast_clock):
+        period = fast_clock.period_ps
+        tsc.load(5 * period, 1_000_000)
+        assert tsc.read(5 * period) == 1_000_000
+        assert tsc.read(7 * period) == 1_000_002
+
+    def test_load_mid_cycle_snaps_to_edge(self, tsc, fast_clock):
+        period = fast_clock.period_ps
+        tsc.load(5 * period + period // 3, 100)
+        # next edge (6*period) increments
+        assert tsc.read(6 * period) == 101
+
+    def test_load_range_check(self, tsc):
+        with pytest.raises(TimerError):
+            tsc.load(0, -1)
+        with pytest.raises(TimerError):
+            tsc.load(0, 1 << 64)
+
+    def test_wraparound_mask(self, tsc, fast_clock):
+        period = fast_clock.period_ps
+        tsc.load(0, (1 << 64) - 1)
+        assert tsc.read(period) == 0  # wrapped
+
+
+class TestFreezeThaw:
+    def test_freeze_holds_value(self, tsc, fast_clock):
+        period = fast_clock.period_ps
+        value = tsc.freeze(10 * period)
+        assert value == 10
+        assert tsc.read(100 * period) == 10
+        assert tsc.frozen
+
+    def test_double_freeze_returns_same(self, tsc, fast_clock):
+        period = fast_clock.period_ps
+        first = tsc.freeze(10 * period)
+        second = tsc.freeze(20 * period)
+        assert first == second
+
+    def test_thaw_resumes_counting(self, tsc, fast_clock):
+        period = fast_clock.period_ps
+        tsc.freeze(10 * period)
+        tsc.thaw(20 * period, 500)
+        assert tsc.read(20 * period) == 500
+        assert tsc.read(22 * period) == 502
+
+    def test_thaw_without_freeze_rejected(self, tsc):
+        with pytest.raises(TimerError):
+            tsc.thaw(0)
+
+    def test_thaw_defaults_to_frozen_value(self, tsc, fast_clock):
+        period = fast_clock.period_ps
+        tsc.freeze(10 * period)
+        tsc.thaw(20 * period)
+        assert tsc.read(20 * period) == 10
+
+
+class TestDeadlines:
+    def test_time_of_future_count(self, tsc, fast_clock):
+        period = fast_clock.period_ps
+        when = tsc.time_of_count(100, now_ps=0)
+        assert when == 100 * period
+        assert tsc.read(when) == 100
+
+    def test_time_of_past_count_is_now(self, tsc, fast_clock):
+        period = fast_clock.period_ps
+        assert tsc.time_of_count(5, now_ps=10 * period) == 10 * period
+
+    def test_frozen_counter_has_no_deadlines(self, tsc):
+        tsc.freeze(0)
+        with pytest.raises(TimerError):
+            tsc.time_of_count(100, 0)

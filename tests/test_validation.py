@@ -1,0 +1,65 @@
+"""Tests for the power-model validation workflow."""
+
+import pytest
+
+from repro.analysis.validation import (
+    predicted_average_power_w,
+    predicted_drips_power_w,
+    validate_power_model,
+)
+from repro.config import skylake_config
+from repro.core.techniques import ContextStore, Technique, TechniqueSet
+
+
+class TestPredictions:
+    def test_baseline_prediction_is_budget_total(self):
+        budget = skylake_config().budget
+        predicted = predicted_drips_power_w(budget, TechniqueSet.baseline())
+        assert predicted == pytest.approx(budget.platform_total_w())
+
+    def test_each_technique_reduces_prediction(self):
+        budget = skylake_config().budget
+        baseline = predicted_drips_power_w(budget, TechniqueSet.baseline())
+        previous = baseline
+        for techniques in [
+            TechniqueSet.wake_up_off_only(),
+            TechniqueSet.with_io_gating(),
+            TechniqueSet.odrips(),
+            TechniqueSet.odrips_pcm(),
+        ]:
+            predicted = predicted_drips_power_w(budget, techniques)
+            assert predicted < previous
+            previous = predicted
+
+    def test_chipset_sram_better_than_baseline_worse_than_dram(self):
+        budget = skylake_config().budget
+        baseline = predicted_drips_power_w(budget, TechniqueSet.baseline())
+        chipset = predicted_drips_power_w(
+            budget, TechniqueSet({Technique.CTX_SGX_DRAM}, ContextStore.CHIPSET_SRAM)
+        )
+        dram = predicted_drips_power_w(budget, TechniqueSet.ctx_sgx_dram_only())
+        assert dram < chipset < baseline
+
+    def test_average_prediction_near_75mw(self):
+        predicted = predicted_average_power_w(TechniqueSet.baseline())
+        assert predicted * 1e3 == pytest.approx(74.5, abs=1.5)
+
+
+class TestValidationReport:
+    def test_paper_accuracy_bar(self):
+        """Sec. 7: 'the accuracy of our power-model is approximately 95%'.
+
+        Our model and simulator share the budget constants, so agreement
+        should be well above the paper's bar."""
+        report = validate_power_model(
+            cycles=1,
+            technique_sets=[TechniqueSet.baseline(), TechniqueSet.odrips()],
+        )
+        assert report.worst_accuracy > 0.95
+        assert report.mean_accuracy > 0.98
+
+    def test_rows_labelled(self):
+        report = validate_power_model(
+            cycles=1, technique_sets=[TechniqueSet.baseline()]
+        )
+        assert report.rows[0].label == "Baseline (DRIPS)"

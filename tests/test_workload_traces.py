@@ -1,0 +1,113 @@
+"""Tests for activity traces and the trace-driven runner."""
+
+import pytest
+
+from repro.core.techniques import TechniqueSet
+from repro.errors import WorkloadError
+from repro.workloads.traces import (
+    KIND_MAINTENANCE,
+    KIND_NETWORK,
+    ActivityTrace,
+    TraceDrivenRunner,
+    TraceEvent,
+    chatty_night_trace,
+    standard_standby_trace,
+)
+
+from _platform import build_platform
+
+
+class TestTraceFormat:
+    def test_events_sorted_on_construction(self):
+        trace = ActivityTrace(
+            [TraceEvent(20.0, KIND_NETWORK), TraceEvent(10.0, KIND_MAINTENANCE, 0.1)]
+        )
+        assert [event.time_s for event in trace.events] == [10.0, 20.0]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceEvent(-1.0, KIND_NETWORK)
+        with pytest.raises(WorkloadError):
+            TraceEvent(1.0, "bogus")
+        with pytest.raises(WorkloadError):
+            TraceEvent(1.0, KIND_MAINTENANCE, 0.0)
+        with pytest.raises(WorkloadError):
+            ActivityTrace([])
+
+    def test_csv_round_trip(self):
+        trace = chatty_night_trace(duration_s=120.0)
+        text = trace.to_csv()
+        loaded = ActivityTrace.from_csv(text, label=trace.label)
+        assert len(loaded.events) == len(trace.events)
+        assert loaded.events[0].time_s == pytest.approx(trace.events[0].time_s)
+        assert loaded.counts() == trace.counts()
+
+    def test_malformed_csv_rejected(self):
+        with pytest.raises(WorkloadError):
+            ActivityTrace.from_csv("time_s,kind,param\nnot-a-number,maintenance,0.1\n")
+
+    def test_statistics(self):
+        trace = standard_standby_trace(duration_s=120.0, maintenance_interval_s=30.0)
+        assert trace.counts()[KIND_MAINTENANCE] >= 3
+        assert trace.busy_seconds() == pytest.approx(
+            0.145 * trace.counts()[KIND_MAINTENANCE]
+        )
+        assert trace.expected_idle_fraction() > 0.99
+
+
+class TestGenerators:
+    def test_standard_trace_interval(self):
+        trace = standard_standby_trace(duration_s=300.0)
+        gaps = [
+            b.time_s - a.time_s for a, b in zip(trace.events, trace.events[1:])
+        ]
+        assert all(29.0 < gap < 31.0 for gap in gaps)
+
+    def test_chatty_trace_adds_network_events(self):
+        trace = chatty_night_trace(duration_s=300.0, network_rate_per_minute=4.0)
+        counts = trace.counts()
+        assert counts.get(KIND_NETWORK, 0) > 5
+        assert counts[KIND_MAINTENANCE] >= 9
+
+    def test_generators_deterministic(self):
+        a = chatty_night_trace(seed=11).to_csv()
+        b = chatty_night_trace(seed=11).to_csv()
+        assert a == b
+
+    def test_too_short_horizon_rejected(self):
+        with pytest.raises(WorkloadError):
+            standard_standby_trace(duration_s=5.0, maintenance_interval_s=30.0)
+
+
+class TestTraceReplay:
+    def test_standard_trace_replays_on_baseline(self):
+        platform = build_platform(TechniqueSet.baseline(), small_context=True)
+        trace = standard_standby_trace(duration_s=95.0, maintenance_interval_s=30.0)
+        runner = TraceDrivenRunner(platform, trace)
+        result = runner.run()
+        assert result.cycles == len(trace.events)
+        assert result.drips_residency > 0.98
+        assert 0.05 < result.average_power_w < 0.15
+
+    def test_chatty_trace_wakes_more_often(self):
+        quiet_platform = build_platform(TechniqueSet.odrips(), small_context=True)
+        quiet = TraceDrivenRunner(
+            quiet_platform, standard_standby_trace(duration_s=95.0)
+        ).run()
+        chatty_platform = build_platform(TechniqueSet.odrips(), small_context=True)
+        chatty = TraceDrivenRunner(
+            chatty_platform,
+            chatty_night_trace(duration_s=95.0, network_rate_per_minute=6.0),
+        ).run()
+        assert len(chatty.wake_events) > len(quiet.wake_events)
+        assert chatty.average_power_w > quiet.average_power_w
+
+    def test_network_events_arrive_as_network_wakes(self):
+        platform = build_platform(TechniqueSet.odrips(), small_context=True)
+        events = [
+            TraceEvent(5.0, KIND_NETWORK),
+            TraceEvent(10.0, KIND_MAINTENANCE, 0.05),
+        ]
+        runner = TraceDrivenRunner(platform, ActivityTrace(events))
+        result = runner.run()
+        assert any("network" in event for event in result.wake_events)
