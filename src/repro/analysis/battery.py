@@ -8,6 +8,7 @@ much life each technique buys on real battery sizes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -46,7 +47,9 @@ class BatteryLife:
 
     def extra_days_vs(self, other: "BatteryLife") -> float:
         """Standby days gained over ``other`` (same battery)."""
-        if self.battery_wh != other.battery_wh:
+        # tolerance, not float ==: capacities computed via arithmetic
+        # (unit conversions, derating) must still count as "same battery"
+        if not math.isclose(self.battery_wh, other.battery_wh, rel_tol=1e-9):
             raise ConfigError("comparing different batteries")
         return self.days - other.days
 

@@ -10,11 +10,14 @@ Examples::
     python -m repro fig6a --break-even   # + the residency break-even line
     python -m repro all            # every experiment in sequence
     python -m repro battery --battery-wh 50
+    python -m repro lint           # static model verifier + source checker
+    python -m repro lint --json --select M1 --ignore S405
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -234,6 +237,52 @@ def cmd_battery(args: argparse.Namespace) -> None:
     ))
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run both static-analysis passes; exit non-zero on any finding.
+
+    The model verifier runs on the shipped Skylake platform in its two
+    extreme configurations (baseline DRIPS and full ODRIPS, which differ
+    in the components they instantiate); the source checker runs on the
+    installed ``repro`` sources unless ``--path`` overrides them.
+    """
+    from repro import lint as lint_mod
+    from repro.errors import ConfigError
+    from repro.system.skylake import SkylakePlatform
+
+    select = [token for entry in args.select for token in entry.split(",") if token]
+    ignore = [token for entry in args.ignore for token in entry.split(",") if token]
+    try:
+        lint_mod.validate_rule_patterns(select + ignore, lint_mod.all_rules())
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return lint_mod.EXIT_USAGE
+
+    diagnostics = []
+    for techniques in (TechniqueSet.baseline(), TechniqueSet.odrips()):
+        diagnostics.extend(lint_mod.lint_platform(SkylakePlatform(techniques=techniques)))
+    paths = args.path or [_default_lint_root()]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        for path in missing:
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+        return lint_mod.EXIT_USAGE
+    diagnostics.extend(lint_mod.lint_paths(paths))
+    diagnostics = lint_mod.filter_diagnostics(
+        lint_mod.dedupe_diagnostics(diagnostics), select=select, ignore=ignore
+    )
+    if args.json:
+        print(lint_mod.render_json(diagnostics))
+    else:
+        print(lint_mod.render_text(diagnostics))
+    return lint_mod.exit_code(diagnostics)
+
+
+def _default_lint_root() -> str:
+    from repro.lint.source import default_source_root
+
+    return str(default_source_root())
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig1b": cmd_fig1b,
     "fig2": cmd_fig2,
@@ -258,8 +307,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all"],
-        help="which paper experiment to run",
+        choices=sorted(COMMANDS) + ["all", "lint"],
+        help="which paper experiment to run (or 'lint' for static analysis)",
     )
     parser.add_argument(
         "--cycles", type=int, default=2,
@@ -273,11 +322,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--battery-wh", type=float, default=BATTERY_WH["surface-class"],
         help="battery capacity for the battery command (default 38 Wh)",
     )
+    lint_group = parser.add_argument_group("lint options")
+    lint_group.add_argument(
+        "--json", action="store_true",
+        help="lint: emit machine-readable JSON instead of text",
+    )
+    lint_group.add_argument(
+        "--select", action="append", default=[], metavar="RULES",
+        help="lint: only report these rules (comma-separated ids/prefixes/names)",
+    )
+    lint_group.add_argument(
+        "--ignore", action="append", default=[], metavar="RULES",
+        help="lint: suppress these rules (comma-separated ids/prefixes/names)",
+    )
+    lint_group.add_argument(
+        "--path", action="append", default=[], metavar="PATH",
+        help="lint: source files/directories to check (default: the repro package)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "lint":
+        return cmd_lint(args)
     if args.experiment == "all":
         for name in ["table1", "fig1b", "fig2", "fig6a", "fig6b", "fig6c",
                      "fig6d", "latency", "calibration", "ablations"]:

@@ -25,6 +25,15 @@ class DerivedClock:
         self.name = name
         self.source = source
         self.divider = divider
+        #: Gateable clocks fed from this one (repro.lint clock-graph hook).
+        self.consumers: list = []
+        register = getattr(source, "register_consumer", None)
+        if register is not None:
+            register(self)
+
+    def register_consumer(self, clock: object) -> None:
+        """Record a gateable clock fed by this derived clock."""
+        self.consumers.append(clock)
 
     @property
     def period_ps(self) -> int:
@@ -85,6 +94,9 @@ class GateableClock:
         self.power_component = power_component
         self._gated = False
         self.gate_count = 0
+        register = getattr(source, "register_consumer", None)
+        if register is not None:
+            register(self)
         self._update_power()
 
     @property

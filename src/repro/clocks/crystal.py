@@ -55,8 +55,15 @@ class CrystalOscillator:
         self._anchor_ps = 0  # time of the first edge of the current run
         self.enable_count = 0
         self.disable_count = 0
+        #: Clocks derived from this crystal (filled by register_consumer;
+        #: lets repro.lint walk the complete clock graph).
+        self.consumers: list = []
         if power_component is not None:
             power_component.set_power(power_watts)
+
+    def register_consumer(self, clock: object) -> None:
+        """Record a derived clock driven by this crystal."""
+        self.consumers.append(clock)
 
     # --- effective frequency ----------------------------------------------------
 

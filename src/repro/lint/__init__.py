@@ -1,0 +1,77 @@
+"""Static analysis for the ODRIPS reproduction: ``repro.lint``.
+
+Two passes guard the two invariants the paper's hardware enforced
+physically and the simulator only enforces by convention:
+
+* the **model verifier** (:func:`lint_platform`) statically walks a
+  constructed platform — power tree, clock sources, platform-state FSM
+  and entry/exit flow specs — and reports wiring bugs (``M1xx``/``M2xx``/
+  ``M3xx`` rules) before a single cycle is simulated;
+* the **source checker** (:func:`lint_paths`) parses the library sources
+  with the stdlib ``ast`` module and enforces the canonical-unit
+  discipline of :mod:`repro.units` (``S4xx`` rules).
+
+Run both from the shell with ``python -m repro lint`` (see docs/LINT.md
+for the rule catalog), or call them directly::
+
+    from repro.lint import lint_platform, lint_paths, render_text
+    from repro.system.skylake import SkylakePlatform
+
+    diagnostics = lint_platform(SkylakePlatform())
+    print(render_text(diagnostics))
+"""
+
+from repro.lint.diagnostics import (
+    EXIT_CLEAN,
+    EXIT_DIAGNOSTICS,
+    EXIT_USAGE,
+    JSON_SCHEMA_VERSION,
+    Diagnostic,
+    Location,
+    Severity,
+    dedupe_diagnostics,
+    exit_code,
+    filter_diagnostics,
+    render_json,
+    render_text,
+    sort_diagnostics,
+    validate_rule_patterns,
+)
+from repro.lint.model import ModelView, lint_model_view, lint_platform, walk_model
+from repro.lint.source import lint_file, lint_paths, lint_source_text
+
+
+def all_rules():
+    """Every known rule as ``(rule_id, name)`` pairs, catalog order."""
+    from repro.lint.rules_model import MODEL_RULES
+    from repro.lint.rules_source import SOURCE_RULES
+
+    pairs = [(rule.rule_id, rule.name) for rule in MODEL_RULES]
+    pairs.extend((rule.rule_id, rule.name) for rule in SOURCE_RULES)
+    return pairs
+
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_DIAGNOSTICS",
+    "EXIT_USAGE",
+    "JSON_SCHEMA_VERSION",
+    "Diagnostic",
+    "Location",
+    "ModelView",
+    "Severity",
+    "all_rules",
+    "dedupe_diagnostics",
+    "exit_code",
+    "filter_diagnostics",
+    "lint_file",
+    "lint_model_view",
+    "lint_paths",
+    "lint_platform",
+    "lint_source_text",
+    "render_json",
+    "render_text",
+    "sort_diagnostics",
+    "validate_rule_patterns",
+    "walk_model",
+]

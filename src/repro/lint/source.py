@@ -1,0 +1,80 @@
+"""AST-based unit-discipline checker over the ``repro`` sources.
+
+Parses each Python file with the stdlib :mod:`ast` module and runs the
+``S4xx`` rule catalog of :mod:`repro.lint.rules_source` over it.  No code
+is imported or executed; the checker is safe to run on broken trees and
+reports syntax errors as diagnostics instead of raising.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.lint.diagnostics import Diagnostic, Location, Severity, sort_diagnostics
+
+PathLike = Union[str, os.PathLike]
+
+
+def default_source_root() -> Path:
+    """The installed ``repro`` package directory (what the CLI lints)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def iter_python_files(paths: Iterable[PathLike]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            yield from sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        else:
+            yield path
+
+
+def _syntax_diagnostic(filename: str, error: SyntaxError) -> Diagnostic:
+    return Diagnostic(
+        rule="S400",
+        name="syntax-error",
+        severity=Severity.ERROR,
+        message=f"cannot parse: {error.msg}",
+        location=Location(file=filename, line=error.lineno or 1),
+        hint=None,
+    )
+
+
+def lint_source_text(source: str, filename: str = "<string>") -> List[Diagnostic]:
+    """Run every source rule over one module's text."""
+    from repro.lint.rules_source import SOURCE_RULES
+
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as error:
+        return [_syntax_diagnostic(filename, error)]
+    diagnostics: List[Diagnostic] = []
+    for rule in SOURCE_RULES:
+        diagnostics.extend(rule.check(tree, filename))
+    return sort_diagnostics(diagnostics)
+
+
+def lint_file(path: PathLike) -> List[Diagnostic]:
+    """Lint one Python file."""
+    file_path = Path(path)
+    return lint_source_text(
+        file_path.read_text(encoding="utf-8"), filename=str(file_path)
+    )
+
+
+def lint_paths(paths: Iterable[PathLike]) -> List[Diagnostic]:
+    """Lint every Python file under ``paths`` (files or directories)."""
+    diagnostics: List[Diagnostic] = []
+    for file_path in iter_python_files(paths):
+        diagnostics.extend(lint_file(file_path))
+    return sort_diagnostics(diagnostics)

@@ -118,6 +118,8 @@ class Regulator:
                     f"regulator {self.name} is disabled but asked for {load_watts} W"
                 )
             return 0.0
-        if load_watts == 0:
+        if load_watts <= 0:
+            # <=, not ==: exact float equality on an accumulated load is
+            # fragile (negative loads were already rejected above).
             return self.quiescent_watts
         return load_watts / self.curve.efficiency(load_watts) + self.quiescent_watts

@@ -16,7 +16,7 @@ measured averages of Sec. 7.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.techniques import ContextStore
 from repro.errors import FlowError
@@ -24,6 +24,46 @@ from repro.io.pml import PMLMessage
 from repro.io.wake import WakeEvent, WakeEventType
 from repro.sim.process import Process
 from repro.system.states import FLOW_CHANNEL, PlatformState
+
+
+@dataclass(frozen=True)
+class FlowStepSpec:
+    """Declared shape of one flow step (introspection hook for repro.lint).
+
+    ``requires`` names power domains that must still be delivering when
+    the step runs; ``gates_off``/``gates_on`` name domains the step
+    power-gates or restores.  The static model verifier checks that every
+    named domain exists and that no step runs against a domain an
+    earlier step already gated off.
+    """
+
+    label: str
+    requires: Tuple[str, ...] = ()
+    gates_off: Tuple[str, ...] = ()
+    gates_on: Tuple[str, ...] = ()
+
+
+#: Declarative mirror of :meth:`FlowController._entry_flow` (Sec. 2.2
+#: order with the ODRIPS insertions); labels match the ``_step`` calls.
+ENTRY_FLOW_SPEC: Tuple[FlowStepSpec, ...] = (
+    FlowStepSpec("entry:compute-quiesce", requires=("proc.compute",)),
+    FlowStepSpec("entry:llc-flush", requires=("memory",)),
+    FlowStepSpec("entry:context-save", requires=("memory",)),
+    FlowStepSpec("entry:dram-self-refresh", requires=("memory",)),
+    FlowStepSpec("entry:clock-shutdown"),
+    FlowStepSpec("entry:io-handoff", requires=("proc.aon_io",), gates_off=("proc.aon_io",)),
+    FlowStepSpec("entry:drips", gates_off=("proc.compute",)),
+)
+
+#: Declarative mirror of :meth:`FlowController._exit_flow`.
+EXIT_FLOW_SPEC: Tuple[FlowStepSpec, ...] = (
+    FlowStepSpec("exit:wake"),
+    FlowStepSpec("exit:xtal-restart"),
+    FlowStepSpec("exit:io-restore", gates_on=("proc.aon_io",)),
+    FlowStepSpec("exit:context-restore", requires=("memory",)),
+    FlowStepSpec("exit:vr-ramp", gates_on=("proc.compute",)),
+    FlowStepSpec("exit:active", requires=("proc.compute",)),
+)
 
 
 @dataclass

@@ -232,6 +232,10 @@ class SkylakePlatform:
             timer_int_bits=int_bits,
         )
         self.chipset.attach_thermal_line(self.board.ec.thermal_line)
+        # The chipset drives the AON-IO FET's gate terminal through its
+        # dedicated spare GPIO (Sec. 5.3); without this binding nothing
+        # in the model can ever actuate the FET (lint rule M106).
+        self.board.aon_io_fet.bind_gpio(self.chipset.fet_gpio)
 
         # --- PML -----------------------------------------------------------------------------------------------
         # The chipset side pads live in the chipset AON domain; their power
@@ -407,6 +411,28 @@ class SkylakePlatform:
         """
         base = self.tree.platform_power() - self.flow_component.power_watts
         self.flow_component.set_power(max(0.0, watts - base))
+
+    # ---------------------------------------------------- lint introspection
+
+    def fsm_description(self) -> Dict[str, object]:
+        """Declared platform-state machine, for the static model verifier."""
+        from repro.io.wake import WakeEventType
+        from repro.system.states import FSM_ACTIVE, FSM_INITIAL, FSM_TRANSITIONS, FSM_WAKE_RECEPTIVE
+
+        return {
+            "states": tuple(PlatformState),
+            "initial": FSM_INITIAL,
+            "active": FSM_ACTIVE,
+            "transitions": FSM_TRANSITIONS,
+            "wake_receptive": FSM_WAKE_RECEPTIVE,
+            "wake_event_types": tuple(WakeEventType),
+        }
+
+    def flow_descriptions(self) -> Dict[str, tuple]:
+        """Declared entry/exit flow specs, for the static model verifier."""
+        from repro.system.flows import ENTRY_FLOW_SPEC, EXIT_FLOW_SPEC
+
+        return {"entry": ENTRY_FLOW_SPEC, "exit": EXIT_FLOW_SPEC}
 
     # ------------------------------------------------------------------ queries
 

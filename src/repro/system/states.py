@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import enum
 
+from repro.io.wake import WakeEventType
+
 
 class PlatformState(enum.Enum):
     """Where the platform is in the periodic connected-standby cycle."""
@@ -33,3 +35,34 @@ STATE_CHANNEL = "state"
 POWER_CHANNEL = "platform"
 WAKE_CHANNEL = "wake"
 FLOW_CHANNEL = "flow"  # step-by-step log of the entry/exit flows
+
+
+# --- declared FSM structure (introspection hook for repro.lint) -------------
+#
+# The flows below sequence the platform through exactly these edges; the
+# static model verifier checks reachability, exit paths and wake-event
+# coverage against this declaration, so keep it in sync with
+# FlowController when adding states.
+
+#: State the platform boots into.
+FSM_INITIAL = PlatformState.BOOT
+
+#: The state every cycle must be able to return to.
+FSM_ACTIVE = PlatformState.ACTIVE
+
+#: Legal state transitions of the connected-standby cycle (Fig. 2).
+FSM_TRANSITIONS = {
+    PlatformState.BOOT: (PlatformState.ACTIVE,),
+    PlatformState.ACTIVE: (PlatformState.ENTRY,),
+    PlatformState.ENTRY: (PlatformState.DRIPS,),
+    PlatformState.DRIPS: (PlatformState.EXIT,),
+    PlatformState.EXIT: (PlatformState.ACTIVE,),
+}
+
+#: States that must react to wake events, and the event types they
+#: handle.  DRIPS is the only wake-receptive state: the PMU (baseline)
+#: or the chipset wake hub (ODRIPS) must field every wake-event type, or
+#: a wake is silently lost and the platform idles forever.
+FSM_WAKE_RECEPTIVE = {
+    PlatformState.DRIPS: frozenset(WakeEventType),
+}

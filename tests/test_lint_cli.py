@@ -1,0 +1,84 @@
+"""End-to-end tests of ``python -m repro lint`` (via cli.main)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint.diagnostics import EXIT_CLEAN, EXIT_DIAGNOSTICS, EXIT_USAGE
+
+
+@pytest.fixture
+def clean_module(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text("def run(duration_ps: int) -> int:\n    return duration_ps\n")
+    return str(path)
+
+
+@pytest.fixture
+def dirty_module(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(
+        "import time\n"
+        "start_ps = 1.5\n"
+        "t = time.time()\n"
+    )
+    return str(path)
+
+
+def test_clean_run_exits_zero(capsys, clean_module):
+    # model verifier on the shipped platforms + source checker on a clean file
+    assert main(["lint", "--path", clean_module]) == EXIT_CLEAN
+    assert "no problems found" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_readable_text(capsys, dirty_module):
+    assert main(["lint", "--path", dirty_module]) == EXIT_DIAGNOSTICS
+    out = capsys.readouterr().out
+    assert "S401" in out and "S402" in out
+    assert "dirty.py" in out
+    assert "problem(s)" in out
+
+
+def test_json_output_is_machine_readable(capsys, dirty_module):
+    assert main(["lint", "--json", "--path", dirty_module]) == EXIT_DIAGNOSTICS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert set(payload) == {"version", "counts", "diagnostics"}
+    rules = {d["rule"] for d in payload["diagnostics"]}
+    assert {"S401", "S402"} <= rules
+    assert payload["counts"]["error"] >= 2
+
+
+def test_select_narrows_to_one_family(capsys, dirty_module):
+    code = main(["lint", "--json", "--select", "S401", "--path", dirty_module])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == EXIT_DIAGNOSTICS
+    assert {d["rule"] for d in payload["diagnostics"]} == {"S401"}
+
+
+def test_ignore_suppresses_everything(capsys, dirty_module):
+    code = main(["lint", "--ignore", "S401,S402", "--path", dirty_module])
+    assert code == EXIT_CLEAN
+    assert "no problems found" in capsys.readouterr().out
+
+
+def test_unknown_rule_is_a_usage_error(capsys, clean_module):
+    assert main(["lint", "--select", "Z999", "--path", clean_module]) == EXIT_USAGE
+    err = capsys.readouterr().err
+    assert "Z999" in err
+
+
+def test_missing_path_is_a_usage_error_not_a_traceback(capsys):
+    assert main(["lint", "--path", "/does/not/exist.py"]) == EXIT_USAGE
+    err = capsys.readouterr().err
+    assert "/does/not/exist.py" in err
+
+
+def test_rule_name_accepted_as_pattern(clean_module, dirty_module, capsys):
+    code = main(["lint", "--select", "wallclock-in-sim", "--path", dirty_module])
+    out = capsys.readouterr().out
+    assert code == EXIT_DIAGNOSTICS
+    assert "S401" in out and "S402" not in out

@@ -1,0 +1,52 @@
+"""Regression tests for the defects the static verifier surfaced.
+
+Each test pins one real bug found while bringing up ``repro.lint``:
+
+* the AON-IO board FET was never bound to the chipset GPIO that drives
+  it (M106 undriveable-gate);
+* ``Regulator.input_power`` used exact float equality on the load, so a
+  tiny negative-rounding residue would have bypassed the zero-load
+  branch (S403 float-eq-power);
+* ``BatteryLife.extra_days_vs`` compared battery capacities with ``!=``,
+  rejecting capacities equal up to float rounding (S403).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.battery import BatteryLife
+from repro.errors import ConfigError
+from repro.power.regulator import EfficiencyCurve, Regulator
+from repro.system.skylake import SkylakePlatform
+from repro.core.techniques import TechniqueSet
+
+
+def test_aon_io_fet_is_driven_by_the_chipset_gpio():
+    platform = SkylakePlatform(techniques=TechniqueSet.odrips())
+    fet = platform.board.aon_io_fet
+    assert fet.control_gpio is not None
+    assert fet.control_gpio == platform.chipset.fet_gpio
+
+
+def test_regulator_zero_load_hits_quiescent_branch():
+    regulator = Regulator("vr", EfficiencyCurve.constant(0.74), quiescent_watts=5e-4)
+    assert regulator.input_power(0.0) == pytest.approx(5e-4)
+    # a load below float-equality-with-zero but not exactly zero must not
+    # divide by an efficiency looked up for a "real" load
+    assert regulator.input_power(0.0 * 1e-30) == pytest.approx(5e-4)
+
+
+def test_battery_comparison_tolerates_float_rounding():
+    wh = 38.0
+    derived_wh = (wh * 10.0) / 10.0  # may differ in the last ulp
+    a = BatteryLife(battery_wh=wh, average_power_w=5e-3)
+    b = BatteryLife(battery_wh=derived_wh, average_power_w=4e-3)
+    assert a.extra_days_vs(b) < 0  # no ConfigError for equal-ish capacities
+
+
+def test_battery_comparison_still_rejects_different_batteries():
+    a = BatteryLife(battery_wh=38.0, average_power_w=5e-3)
+    b = BatteryLife(battery_wh=50.0, average_power_w=5e-3)
+    with pytest.raises(ConfigError):
+        a.extra_days_vs(b)
