@@ -1,0 +1,191 @@
+"""Microbenchmarks for the fast-path simulation engine.
+
+Times the four layers the perf PR touched — analyzer closed-form
+sampling, indexed trace queries, kernel event throughput, memoized
+experiments, and parallel sweeps — and writes the results to
+``BENCH_perf.json`` at the repo root so CI can diff them run-over-run.
+
+Run with ``pytest benchmarks/bench_perf_engine.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiments import fig2_connected_standby, fig6b_core_frequency
+from repro.measure.analyzer import PowerAnalyzer
+from repro.perf import SimulationCache
+from repro.sim.kernel import Kernel
+from repro.sim.trace import TraceRecorder
+from repro.units import seconds_to_ps, us_to_ps
+
+from _bench import run_once
+
+#: Analyzer fast path must beat the raw-sample reference by at least
+#: this factor on a fig2-sized window (ISSUE acceptance criterion).
+MIN_ANALYZER_SPEEDUP = 20.0
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+_results: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_json():
+    """Collect per-bench figures and write BENCH_perf.json on teardown."""
+    yield
+    if _results:
+        payload = {
+            "schema": "repro-bench-perf/1",
+            "generated_by": "benchmarks/bench_perf_engine.py",
+            "benches": _results,
+        }
+        BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def fig2_sized_trace(cycles: int = 2) -> TraceRecorder:
+    """Synthetic ~60 s platform-power step trace (fig2-shaped)."""
+    trace = TraceRecorder()
+    t = 0
+    for _cycle in range(cycles):
+        for duration_s, watts in (
+            (0.145, 3.04),
+            (0.0002, 0.90),
+            (29.70, 0.060),
+            (0.0003, 1.20),
+        ):
+            trace.record(t, "platform", watts)
+            t += seconds_to_ps(duration_s)
+    trace.record(t, "platform", 3.04)
+    return trace
+
+
+def test_analyzer_fast_path_speedup(benchmark, emit):
+    """Closed-form measure() vs the per-sample reference path."""
+    trace = fig2_sized_trace()
+    analyzer = PowerAnalyzer(trace, sampling_interval_ps=us_to_ps(50))
+    end_ps = trace.last("platform").time_ps
+
+    t0 = time.perf_counter()
+    samples = analyzer.sample_window(0, end_ps)
+    slow_s = time.perf_counter() - t0
+
+    reading = run_once(benchmark, analyzer.measure, 0, end_ps)
+    fast_s = min(benchmark.stats.stats.data)
+
+    assert reading.samples == len(samples)
+    speedup = slow_s / fast_s
+    assert speedup >= MIN_ANALYZER_SPEEDUP
+    _results["analyzer_fast_path"] = {
+        "wall_s": fast_s,
+        "reference_wall_s": slow_s,
+        "speedup": speedup,
+        "grid_samples": reading.samples,
+        "samples_per_s": reading.samples / fast_s,
+    }
+    emit(
+        f"analyzer fast path: {fast_s * 1e3:.3f} ms vs reference "
+        f"{slow_s * 1e3:.1f} ms ({speedup:.0f}x, {reading.samples} samples)"
+    )
+
+
+def test_trace_indexed_queries(benchmark, emit):
+    """bisect-backed value_at over a large multi-channel trace."""
+    trace = TraceRecorder()
+    for index in range(50_000):
+        trace.record(index * 100, f"ch{index % 8}", float(index % 17))
+    horizon = 50_000 * 100
+    probes = [(f"ch{i % 8}", (i * 7919) % horizon) for i in range(10_000)]
+
+    def query_all():
+        for channel, t in probes:
+            trace.value_at(channel, t)
+
+    run_once(benchmark, query_all)
+    wall_s = min(benchmark.stats.stats.data)
+    _results["trace_value_at"] = {
+        "wall_s": wall_s,
+        "records": len(trace),
+        "queries": len(probes),
+        "queries_per_s": len(probes) / wall_s,
+    }
+    emit(f"trace value_at: {len(probes)} queries over {len(trace)} records "
+         f"in {wall_s * 1e3:.1f} ms ({len(probes) / wall_s:,.0f}/s)")
+
+
+def test_kernel_event_throughput(benchmark, emit):
+    """Schedule/cancel/fire 100k events; O(1) counters, lazy heap cleanup."""
+    def storm():
+        kernel = Kernel()
+        events = [
+            kernel.schedule(10 * (index + 1), lambda: None)
+            for index in range(100_000)
+        ]
+        for event in events[::2]:
+            event.cancel()
+        fired = kernel.run()
+        assert fired == 50_000
+        assert kernel.pending_events == 0
+        return fired
+
+    fired = run_once(benchmark, storm)
+    wall_s = min(benchmark.stats.stats.data)
+    _results["kernel_event_throughput"] = {
+        "wall_s": wall_s,
+        "scheduled": 100_000,
+        "fired": fired,
+        "events_per_s": 100_000 / wall_s,
+    }
+    emit(f"kernel: 100k scheduled / 50k cancelled / 50k fired in "
+         f"{wall_s * 1e3:.1f} ms ({100_000 / wall_s:,.0f} events/s)")
+
+
+def test_memoized_experiment_rerun(benchmark, emit):
+    """A cache-hit re-measurement skips the simulation entirely."""
+    cache = SimulationCache()
+    t0 = time.perf_counter()
+    cold = fig2_connected_standby(cycles=1, cache=cache)
+    cold_s = time.perf_counter() - t0
+
+    warm = run_once(benchmark, fig2_connected_standby, cycles=1, cache=cache)
+    warm_s = min(benchmark.stats.stats.data)
+
+    assert warm.average_power_mw == cold.average_power_mw
+    assert cache.stats.hits >= 1
+    _results["memoized_experiment"] = {
+        "wall_s": warm_s,
+        "cold_wall_s": cold_s,
+        "speedup": cold_s / warm_s,
+        "cache_hits": cache.stats.hits,
+        "cache_misses": cache.stats.misses,
+    }
+    emit(f"memoized fig2 rerun: {warm_s * 1e3:.2f} ms vs cold "
+         f"{cold_s:.2f} s ({cold_s / warm_s:,.0f}x)")
+
+
+def test_parallel_sweep_matches_serial(benchmark, emit):
+    """fig6b with parallel=True: identical rows, worker-process path."""
+    t0 = time.perf_counter()
+    serial = fig6b_core_frequency(cycles=1, frequencies_ghz=(0.8, 1.5))
+    serial_s = time.perf_counter() - t0
+
+    parallel = run_once(
+        benchmark, fig6b_core_frequency,
+        cycles=1, frequencies_ghz=(0.8, 1.5), parallel=True,
+    )
+    parallel_s = min(benchmark.stats.stats.data)
+
+    assert [(r.parameter, r.average_power_mw) for r in serial] == [
+        (r.parameter, r.average_power_mw) for r in parallel
+    ]
+    _results["parallel_sweep_fig6b"] = {
+        "wall_s": parallel_s,
+        "serial_wall_s": serial_s,
+        "points": len(serial),
+    }
+    emit(f"fig6b sweep: serial {serial_s:.2f} s, parallel {parallel_s:.2f} s "
+         f"({len(serial)} points, identical rows)")

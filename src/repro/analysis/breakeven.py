@@ -11,8 +11,10 @@ crossing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, List, Optional, Tuple
 
+from repro.analysis.sweep import sweep
 from repro.config import PlatformConfig, StandbyWorkloadConfig
 from repro.core.odrips import ODRIPSController
 from repro.core.techniques import TechniqueSet
@@ -121,22 +123,43 @@ def find_break_even(
     )
 
 
+def _residency_point(
+    idle_s: float,
+    techniques: TechniqueSet,
+    config: Optional[PlatformConfig],
+    cycles: int,
+    maintenance_s: float,
+) -> Tuple[float, float]:
+    """Module-level (picklable) sweep point: baseline and technique watts."""
+    base_w = _average_at(TechniqueSet.baseline(), idle_s, cycles, config, maintenance_s)
+    tech_w = _average_at(techniques, idle_s, cycles, config, maintenance_s)
+    return base_w, tech_w
+
+
 def residency_sweep(
     techniques: TechniqueSet,
     residencies_s: List[float],
     config: Optional[PlatformConfig] = None,
     cycles: int = 3,
     maintenance_s: float = SWEEP_MAINTENANCE_S,
+    parallel: bool = False,
 ) -> List[Tuple[float, float, float]]:
     """Average power of baseline and technique at each residency.
 
     Returns ``(residency_s, baseline_w, technique_w)`` tuples — the raw
-    data behind the Fig. 6(a) break-even line.
+    data behind the Fig. 6(a) break-even line.  ``parallel=True`` runs
+    the residency points in worker processes (each point is a pair of
+    independent simulations); results are identical to the serial path.
     """
-    baseline = TechniqueSet.baseline()
-    out = []
-    for idle_s in residencies_s:
-        base_w = _average_at(baseline, idle_s, cycles, config, maintenance_s)
-        tech_w = _average_at(techniques, idle_s, cycles, config, maintenance_s)
-        out.append((idle_s, base_w, tech_w))
-    return out
+    points = sweep(
+        residencies_s,
+        partial(
+            _residency_point,
+            techniques=techniques,
+            config=config,
+            cycles=cycles,
+            maintenance_s=maintenance_s,
+        ),
+        parallel=parallel,
+    )
+    return [(idle_s, base_w, tech_w) for idle_s, (base_w, tech_w) in points]

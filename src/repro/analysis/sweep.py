@@ -1,18 +1,52 @@
-"""Generic parameter-sweep helper for the figure benches."""
+"""Generic parameter-sweep helper for the figure benches.
+
+Every sweep point is an independent simulation of a deterministic
+platform model, so :func:`sweep` can optionally fan the points out over
+a :class:`concurrent.futures.ProcessPoolExecutor` — the evaluation style
+of Fig. 6(b)/(c), the sensitivity grids, and the residency sweeps.  The
+parallel mode returns results in parameter order, identical to the
+serial path.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Tuple, TypeVar
+import os
+from typing import Callable, Iterable, List, Optional, Tuple, TypeVar
+
+from repro.errors import AnalysisError
 
 Value = TypeVar("Value")
+
+#: Reference magnitudes at or below this are treated as zero when
+#: normalizing sweep results (no exact float equality on measured
+#: quantities — the S403 discipline).
+ZERO_REFERENCE_TOLERANCE = 1e-12
 
 
 def sweep(
     parameter_values: Iterable[Value],
     experiment: Callable[[Value], float],
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> List[Tuple[Value, float]]:
-    """Run ``experiment`` at each parameter value; collect the results."""
-    return [(value, experiment(value)) for value in parameter_values]
+    """Run ``experiment`` at each parameter value; collect the results.
+
+    With ``parallel=True`` the points run concurrently in worker
+    processes (each sweep point is an independent simulation), still
+    returning ``(value, result)`` pairs in parameter order.  The
+    ``experiment`` callable and the parameter values must be picklable —
+    a module-level function or a :func:`functools.partial` of one, not a
+    lambda or closure.
+    """
+    values = list(parameter_values)
+    if not parallel or len(values) <= 1:
+        return [(value, experiment(value)) for value in values]
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = max_workers if max_workers is not None else min(len(values), os.cpu_count() or 1)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        results = list(pool.map(experiment, values))
+    return list(zip(values, results))
 
 
 def relative_to_first(points: List[Tuple[Value, float]]) -> List[Tuple[Value, float]]:
@@ -20,10 +54,17 @@ def relative_to_first(points: List[Tuple[Value, float]]) -> List[Tuple[Value, fl
 
     Used for the Fig. 6(b)/(c) sweeps, which the paper reports as deltas
     against the leftmost (baseline) configuration.
+
+    Raises :class:`~repro.errors.AnalysisError` when the reference point
+    is zero to within :data:`ZERO_REFERENCE_TOLERANCE` — the
+    normalization is undefined there.
     """
     if not points:
         return []
     reference = points[0][1]
-    if reference == 0:
-        raise ZeroDivisionError("first sweep point is zero")
+    if abs(reference) <= ZERO_REFERENCE_TOLERANCE:
+        raise AnalysisError(
+            f"cannot normalize sweep results: first sweep point is zero "
+            f"to within {ZERO_REFERENCE_TOLERANCE:g} (got {reference!r})"
+        )
     return [(value, result / reference - 1.0) for value, result in points]

@@ -16,7 +16,10 @@ the savings of each technique, and validated the model post-silicon to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.perf.cache import SimulationCache
 
 from repro.analysis.average_power import AveragePowerModel
 from repro.config import DRIPSPowerBudget, PlatformConfig, skylake_config
@@ -105,12 +108,15 @@ def validate_power_model(
     config: Optional[PlatformConfig] = None,
     cycles: int = 1,
     technique_sets: Optional[List[TechniqueSet]] = None,
+    cache: Optional["SimulationCache"] = None,
 ) -> ValidationReport:
     """Analytical prediction vs full simulation for every configuration.
 
     Mirrors the paper's pre-silicon-model vs post-silicon-measurement
     comparison; the paper found ~95 % accuracy, and the report asserts
-    nothing — callers (tests, benches) apply the tolerance.
+    nothing — callers (tests, benches) apply the tolerance.  ``cache``
+    memoizes the simulated measurements so runs shared with the figure
+    drivers are not recomputed.
     """
     sets = technique_sets if technique_sets is not None else [
         TechniqueSet.baseline(),
@@ -123,7 +129,7 @@ def validate_power_model(
     rows = []
     for techniques in sets:
         predicted = predicted_average_power_w(techniques, config)
-        measured = ODRIPSController(techniques, config=config).measure(
+        measured = ODRIPSController(techniques, config=config, cache=cache).measure(
             cycles=cycles
         ).average_power_w
         rows.append(

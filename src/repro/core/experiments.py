@@ -21,7 +21,8 @@ Index (see DESIGN.md for the full mapping):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from functools import partial
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.config import (
     PlatformConfig,
@@ -32,11 +33,15 @@ from repro.core.odrips import ODRIPSController, StandbyMeasurement
 from repro.core.techniques import TechniqueSet
 from repro.analysis.breakdown import fig1b_shares
 from repro.analysis.breakeven import find_break_even
+from repro.analysis.sweep import sweep
 from repro.timers.calibration import (
     fractional_bits_for_precision,
     integer_bits_for_ratio,
     worst_case_drift_ppb,
 )
+
+if TYPE_CHECKING:
+    from repro.perf.cache import SimulationCache
 
 
 # ---------------------------------------------------------------------------
@@ -102,12 +107,18 @@ class Fig2Result:
 
 
 def fig2_connected_standby(
-    config: Optional[PlatformConfig] = None, cycles: int = 2
+    config: Optional[PlatformConfig] = None,
+    cycles: int = 2,
+    cache: Optional["SimulationCache"] = None,
 ) -> Fig2Result:
-    """Reproduce the connected-standby picture of Fig. 2 (baseline)."""
-    measurement = ODRIPSController(TechniqueSet.baseline(), config=config).measure(
-        cycles=cycles
-    )
+    """Reproduce the connected-standby picture of Fig. 2 (baseline).
+
+    ``cache`` memoizes the baseline standby run so other drivers (fig6a,
+    fig6d, validation) sharing the cache reuse it.
+    """
+    measurement = ODRIPSController(
+        TechniqueSet.baseline(), config=config, cache=cache
+    ).measure(cycles=cycles)
     return Fig2Result(
         average_power_mw=measurement.average_power_w * 1e3,
         drips_power_mw=measurement.drips_power_w * 1e3,
@@ -157,16 +168,23 @@ def fig6a_techniques(
     cycles: int = 2,
     with_break_even: bool = False,
     break_even_iterations: int = 10,
+    cache: Optional["SimulationCache"] = None,
 ) -> Fig6aResult:
     """Reproduce the Fig. 6(a) bars (and, optionally, the blue line).
 
     ``with_break_even`` runs the residency-sweep bisection per bar; it is
     off by default because it simulates dozens of extra configurations.
+    ``cache`` memoizes each per-configuration run (the baseline run is
+    shared with fig2/fig6d/validation when they use the same cache).
     """
-    baseline = ODRIPSController(TechniqueSet.baseline(), config=config).measure(cycles=cycles)
+    baseline = ODRIPSController(
+        TechniqueSet.baseline(), config=config, cache=cache
+    ).measure(cycles=cycles)
     rows: List[Fig6aRow] = []
     for label, techniques in FIG6A_SETS:
-        measurement = ODRIPSController(techniques, config=config).measure(cycles=cycles)
+        measurement = ODRIPSController(techniques, config=config, cache=cache).measure(
+            cycles=cycles
+        )
         paper_saving, paper_be = FIG6A_PAPER[label]
         break_even_ms: Optional[float] = None
         if with_break_even:
@@ -206,56 +224,79 @@ FIG6B_PAPER = {0.8: 0.0, 1.0: -0.014, 1.5: +0.01}
 FIG6C_PAPER = {1.6e9: 0.0, 1.067e9: -0.003, 0.8e9: -0.007}
 
 
+def _odrips_average_at_core_freq(
+    freq_ghz: float, config: Optional[PlatformConfig], cycles: int
+) -> float:
+    """Module-level (picklable) sweep point for Fig. 6(b)."""
+    measurement = ODRIPSController(TechniqueSet.odrips(), config=config).measure(
+        cycles=cycles, core_freq_ghz=freq_ghz
+    )
+    return measurement.average_power_w
+
+
+def _odrips_average_at_dram_rate(
+    rate_hz: float, config: Optional[PlatformConfig], cycles: int
+) -> float:
+    """Module-level (picklable) sweep point for Fig. 6(c)."""
+    measurement = ODRIPSController(TechniqueSet.odrips(), config=config).measure(
+        cycles=cycles, dram_rate_hz=rate_hz
+    )
+    return measurement.average_power_w
+
+
+def _sweep_rows(
+    points: List[Tuple[float, float]], paper: Dict[float, float]
+) -> List[SweepRow]:
+    """Digest ``(parameter, watts)`` sweep points into Fig. 6(b)/(c) rows."""
+    reference = points[0][1]
+    return [
+        SweepRow(
+            parameter=parameter,
+            average_power_mw=watts * 1e3,
+            delta_vs_reference=watts / reference - 1.0,
+            paper_delta=paper.get(parameter),
+        )
+        for parameter, watts in points
+    ]
+
+
 def fig6b_core_frequency(
     config: Optional[PlatformConfig] = None,
     frequencies_ghz: Tuple[float, ...] = (0.8, 1.0, 1.5),
     cycles: int = 2,
+    parallel: bool = False,
 ) -> List[SweepRow]:
-    """Reproduce the core-frequency sweep of Fig. 6(b) (ODRIPS platform)."""
-    rows: List[SweepRow] = []
-    reference: Optional[float] = None
-    for freq in frequencies_ghz:
-        measurement = ODRIPSController(TechniqueSet.odrips(), config=config).measure(
-            cycles=cycles, core_freq_ghz=freq
-        )
-        watts = measurement.average_power_w
-        if reference is None:
-            reference = watts
-        rows.append(
-            SweepRow(
-                parameter=freq,
-                average_power_mw=watts * 1e3,
-                delta_vs_reference=watts / reference - 1.0,
-                paper_delta=FIG6B_PAPER.get(freq),
-            )
-        )
-    return rows
+    """Reproduce the core-frequency sweep of Fig. 6(b) (ODRIPS platform).
+
+    ``parallel=True`` fans the sweep points out over worker processes;
+    every point is an independent simulation, so the rows are identical
+    to the serial ones.
+    """
+    points = sweep(
+        frequencies_ghz,
+        partial(_odrips_average_at_core_freq, config=config, cycles=cycles),
+        parallel=parallel,
+    )
+    return _sweep_rows(points, FIG6B_PAPER)
 
 
 def fig6c_dram_frequency(
     config: Optional[PlatformConfig] = None,
     rates_hz: Tuple[float, ...] = (1.6e9, 1.067e9, 0.8e9),
     cycles: int = 2,
+    parallel: bool = False,
 ) -> List[SweepRow]:
-    """Reproduce the DRAM-frequency sweep of Fig. 6(c) (ODRIPS platform)."""
-    rows: List[SweepRow] = []
-    reference: Optional[float] = None
-    for rate in rates_hz:
-        measurement = ODRIPSController(TechniqueSet.odrips(), config=config).measure(
-            cycles=cycles, dram_rate_hz=rate
-        )
-        watts = measurement.average_power_w
-        if reference is None:
-            reference = watts
-        rows.append(
-            SweepRow(
-                parameter=rate,
-                average_power_mw=watts * 1e3,
-                delta_vs_reference=watts / reference - 1.0,
-                paper_delta=FIG6C_PAPER.get(rate),
-            )
-        )
-    return rows
+    """Reproduce the DRAM-frequency sweep of Fig. 6(c) (ODRIPS platform).
+
+    ``parallel=True`` runs the sweep points in worker processes (see
+    :func:`fig6b_core_frequency`).
+    """
+    points = sweep(
+        rates_hz,
+        partial(_odrips_average_at_dram_rate, config=config, cycles=cycles),
+        parallel=parallel,
+    )
+    return _sweep_rows(points, FIG6C_PAPER)
 
 
 # ---------------------------------------------------------------------------
@@ -278,16 +319,25 @@ def fig6d_emerging_memories(
     config: Optional[PlatformConfig] = None,
     cycles: int = 2,
     with_break_even: bool = False,
+    cache: Optional["SimulationCache"] = None,
 ) -> List[Fig6dRow]:
-    """Reproduce Fig. 6(d): context stored in eMRAM / PCM main memory."""
-    baseline = ODRIPSController(TechniqueSet.baseline(), config=config).measure(cycles=cycles)
+    """Reproduce Fig. 6(d): context stored in eMRAM / PCM main memory.
+
+    ``cache`` memoizes each run; the baseline and ODRIPS runs are shared
+    with fig2/fig6a/validation when they use the same cache.
+    """
+    baseline = ODRIPSController(
+        TechniqueSet.baseline(), config=config, cache=cache
+    ).measure(cycles=cycles)
     rows: List[Fig6dRow] = []
     for label, techniques in [
         ("ODRIPS", TechniqueSet.odrips()),
         ("ODRIPS-MRAM", TechniqueSet.odrips_mram()),
         ("ODRIPS-PCM", TechniqueSet.odrips_pcm()),
     ]:
-        measurement = ODRIPSController(techniques, config=config).measure(cycles=cycles)
+        measurement = ODRIPSController(techniques, config=config, cache=cache).measure(
+            cycles=cycles
+        )
         break_even_ms: Optional[float] = None
         if with_break_even:
             break_even_ms = find_break_even(techniques, config=config).break_even_ms

@@ -17,12 +17,15 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.config import PlatformConfig, StandbyWorkloadConfig, skylake_config
 from repro.core.techniques import TechniqueSet
 from repro.system.skylake import SkylakePlatform
 from repro.workloads.standby import ConnectedStandbyRunner, StandbyResult
+
+if TYPE_CHECKING:  # import cycle guard: repro.perf is optional plumbing
+    from repro.perf.cache import SimulationCache
 
 
 @dataclass
@@ -71,10 +74,18 @@ class ODRIPSController:
         techniques: Optional[TechniqueSet] = None,
         config: Optional[PlatformConfig] = None,
         workload: Optional[StandbyWorkloadConfig] = None,
+        cache: Optional["SimulationCache"] = None,
     ) -> None:
+        """``cache`` opts the controller into memoized measurements: a
+        :class:`~repro.perf.cache.SimulationCache` keyed by the full
+        configuration tree (platform, techniques, workload, measurement
+        arguments).  Runs are deterministic, so a shared cache lets
+        distinct experiment drivers reuse identical runs — cached
+        measurements are shared objects and must not be mutated."""
         self.techniques = techniques if techniques is not None else TechniqueSet.baseline()
         self.config = config if config is not None else skylake_config()
         self.workload = workload if workload is not None else StandbyWorkloadConfig()
+        self.cache = cache
 
     def build_platform(self, **platform_kwargs) -> SkylakePlatform:
         """A freshly wired platform for this technique set."""
@@ -90,7 +101,59 @@ class ODRIPSController:
         external_wakes: bool = False,
         period_s: Optional[float] = None,
     ) -> StandbyMeasurement:
-        """Run a connected-standby measurement and digest the result."""
+        """Run a connected-standby measurement and digest the result.
+
+        With a :attr:`cache` configured, identical configurations return
+        the memoized :class:`StandbyMeasurement` without re-simulating.
+        """
+        if self.cache is not None:
+            key = self.cache.key(
+                "ODRIPSController.measure",
+                self.config,
+                self.techniques,
+                self.workload,
+                {
+                    "cycles": cycles,
+                    "idle_interval_s": idle_interval_s,
+                    "maintenance_s": maintenance_s,
+                    "core_freq_ghz": core_freq_ghz,
+                    "dram_rate_hz": dram_rate_hz,
+                    "external_wakes": external_wakes,
+                    "period_s": period_s,
+                },
+            )
+            return self.cache.get_or_run(
+                key,
+                lambda: self._measure_uncached(
+                    cycles=cycles,
+                    idle_interval_s=idle_interval_s,
+                    maintenance_s=maintenance_s,
+                    core_freq_ghz=core_freq_ghz,
+                    dram_rate_hz=dram_rate_hz,
+                    external_wakes=external_wakes,
+                    period_s=period_s,
+                ),
+            )
+        return self._measure_uncached(
+            cycles=cycles,
+            idle_interval_s=idle_interval_s,
+            maintenance_s=maintenance_s,
+            core_freq_ghz=core_freq_ghz,
+            dram_rate_hz=dram_rate_hz,
+            external_wakes=external_wakes,
+            period_s=period_s,
+        )
+
+    def _measure_uncached(
+        self,
+        cycles: int = 2,
+        idle_interval_s: Optional[float] = None,
+        maintenance_s: Optional[float] = None,
+        core_freq_ghz: Optional[float] = None,
+        dram_rate_hz: Optional[float] = None,
+        external_wakes: bool = False,
+        period_s: Optional[float] = None,
+    ) -> StandbyMeasurement:
         platform = self.build_platform()
         if core_freq_ghz is not None:
             platform.set_core_frequency(core_freq_ghz)

@@ -78,3 +78,11 @@ class WorkloadError(ReproError):
 
 class MeasurementError(ReproError):
     """A misuse of the measurement instruments (analyzer, counters)."""
+
+
+class AnalysisError(ReproError):
+    """An ill-posed analysis request.
+
+    Examples: normalizing a sweep against a (near-)zero reference point,
+    or asking for statistics of an empty result set.
+    """

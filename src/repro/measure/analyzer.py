@@ -6,6 +6,15 @@ interval" (Sec. 7).  This instrument samples the piecewise-constant
 platform-power trace on that grid, applies the instrument's gain accuracy
 (99.975 % for the N6781A), and reports window statistics.
 
+:meth:`PowerAnalyzer.measure` never walks the grid point by point: the
+trace is piecewise constant, so for every power step the number of grid
+points it covers follows arithmetically, making the reading O(#steps)
+instead of O(window / 50 us).  The per-step contributions are summed with
+exact rational arithmetic and rounded once, so the reported average is
+the correctly rounded mean of the grid samples — identical to summing
+the raw :meth:`PowerAnalyzer.sample_window` list with :func:`math.fsum`,
+and independent of summation order.
+
 The exact integral is available from the
 :class:`~repro.power.meter.EnergyMeter`; the analyzer exists so tests can
 show the sampled measurement converges to the exact one — the same
@@ -15,12 +24,18 @@ validation argument the paper makes for its instrument choice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from fractions import Fraction
+from typing import List, Tuple
 
 from repro.errors import MeasurementError
 from repro.sim.trace import TraceRecorder
 from repro.system.states import POWER_CHANNEL
 from repro.units import PICOSECONDS_PER_SECOND, us_to_ps
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    """Ceiling division for non-negative numerators."""
+    return -(-numerator // denominator)
 
 
 @dataclass(frozen=True)
@@ -65,37 +80,87 @@ class PowerAnalyzer:
         self.channel = channel
 
     def sample_window(self, start_ps: int, end_ps: int) -> List[float]:
-        """Instantaneous power samples on the instrument's grid."""
+        """Instantaneous power samples on the instrument's grid.
+
+        This is the raw-sample reference path: it visits every grid point
+        (O(window / interval)) and exists for tests and validation against
+        the closed-form :meth:`measure`.  Grid points that precede the
+        first recorded sample read 0.0 W — the instrument shows nothing
+        before its input is driven — which can only happen when the
+        measurement window starts before the first record of the channel.
+        """
         if end_ps <= start_ps:
             raise MeasurementError("empty measurement window")
         steps = list(self.trace.intervals(self.channel, end_ps))
         if not steps:
             raise MeasurementError("no power trace recorded")
         gain = self.GAIN_ACCURACY if self.apply_gain_error else 1.0
+        first_record_ps = steps[0][0]
         samples: List[float] = []
         index = 0
         t = start_ps
         while t < end_ps:
-            while index + 1 < len(steps) and steps[index][1] <= t:
-                index += 1
-            lo, hi, watts = steps[index]
-            if t < lo:
-                samples.append(0.0)  # before the first recorded level
+            if t < first_record_ps:
+                samples.append(0.0)  # window starts before the first record
             else:
-                samples.append(watts * gain)
+                while index + 1 < len(steps) and steps[index][1] <= t:
+                    index += 1
+                samples.append(steps[index][2] * gain)
             t += self.sampling_interval_ps
         return samples
 
+    def _sample_runs(self, start_ps: int, end_ps: int) -> Tuple[int, List[Tuple[int, float]]]:
+        """Closed-form grid sampling: ``(total_samples, [(count, watts)])``.
+
+        The grid points are ``start_ps + k * interval`` for ``k`` in
+        ``[0, total)``.  For each piecewise-constant step the covered grid
+        indices form a contiguous range computed arithmetically, so the
+        whole decomposition is O(#steps).  The runs partition the grid:
+        their counts sum to ``total``.
+        """
+        if end_ps <= start_ps:
+            raise MeasurementError("empty measurement window")
+        interval = self.sampling_interval_ps
+        total = _ceil_div(end_ps - start_ps, interval)
+        steps = list(self.trace.intervals(self.channel, end_ps, start_ps=start_ps))
+        if not steps:
+            raise MeasurementError("no power trace recorded")
+        gain = self.GAIN_ACCURACY if self.apply_gain_error else 1.0
+        runs: List[Tuple[int, float]] = []
+        first_record_ps = steps[0][0]
+        if start_ps < first_record_ps:
+            # grid points before the first record read 0.0 W
+            zero_count = min(total, _ceil_div(first_record_ps - start_ps, interval))
+            if zero_count:
+                runs.append((zero_count, 0.0))
+        for lo, hi, watts in steps:
+            k_lo = _ceil_div(lo - start_ps, interval) if lo > start_ps else 0
+            k_hi = _ceil_div(hi - start_ps, interval) if hi > start_ps else 0
+            if k_hi > total:
+                k_hi = total
+            if k_hi > k_lo:
+                runs.append((k_hi - k_lo, watts * gain))
+        return total, runs
+
     def measure(self, start_ps: int, end_ps: int) -> AnalyzerReading:
-        """One reading over the window."""
-        samples = self.sample_window(start_ps, end_ps)
+        """One reading over the window, in O(#steps) of the power trace.
+
+        The average is the correctly rounded mean of the grid samples
+        (exact rational accumulation, one final rounding), so it does not
+        depend on the order the samples would have been summed in.
+        """
+        total, runs = self._sample_runs(start_ps, end_ps)
+        acc = Fraction(0)
+        for count, watts in runs:
+            acc += Fraction(watts) * count
+        values = [watts for _count, watts in runs]
         return AnalyzerReading(
             start_ps=start_ps,
             end_ps=end_ps,
-            samples=len(samples),
-            average_watts=sum(samples) / len(samples),
-            min_watts=min(samples),
-            max_watts=max(samples),
+            samples=total,
+            average_watts=float(acc / total),
+            min_watts=min(values),
+            max_watts=max(values),
         )
 
     def exact_average(self, start_ps: int, end_ps: int) -> float:
@@ -103,7 +168,7 @@ class PowerAnalyzer:
         if end_ps <= start_ps:
             raise MeasurementError("empty measurement window")
         total = 0.0
-        for lo, hi, watts in self.trace.intervals(self.channel, end_ps):
+        for lo, hi, watts in self.trace.intervals(self.channel, end_ps, start_ps=start_ps):
             lo = max(lo, start_ps)
             hi = min(hi, end_ps)
             if hi > lo:

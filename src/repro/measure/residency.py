@@ -22,7 +22,7 @@ def _clipped_intervals(
 ) -> List[Tuple[int, int, object]]:
     """Step intervals of ``channel`` clipped to ``[start_ps, end_ps)``."""
     out = []
-    for lo, hi, value in trace.intervals(channel, end_ps):
+    for lo, hi, value in trace.intervals(channel, end_ps, start_ps=start_ps):
         lo = max(lo, start_ps)
         hi = min(hi, end_ps)
         if hi > lo:

@@ -1,0 +1,77 @@
+"""Deterministic content fingerprints for configuration trees.
+
+A simulation run is fully determined by its configuration: the platform
+config (frozen dataclasses), the technique set, the workload config and
+the measurement arguments.  :func:`fingerprint` reduces any such tree to
+a stable SHA-256 digest by first converting it to a canonical, JSON-able
+form (:func:`canonical`) — so two configurations that compare equal by
+value always hash identically, regardless of object identity or
+construction order.
+
+Floats are serialized through :func:`repr`-exact JSON encoding, so
+distinct float values never collide and equal values always agree; sets
+and dict keys are ordered by their canonical encoding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a canonical JSON-able structure.
+
+    Handles the building blocks of the configuration model: frozen
+    dataclasses, enums, (frozen)sets, mappings, sequences, and plain
+    scalars.  Arbitrary objects fall back to their class name plus their
+    instance attributes (covers :class:`~repro.core.techniques.TechniqueSet`).
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__name__, "value": canonical(obj.value)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        encoded = {
+            field.name: canonical(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+        encoded["__dataclass__"] = type(obj).__name__
+        return encoded
+    if isinstance(obj, dict):
+        pairs = [[canonical(key), canonical(value)] for key, value in obj.items()]
+        pairs.sort(key=_ordering_key)
+        return {"__mapping__": pairs}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        items = [canonical(item) for item in obj]
+        items.sort(key=_ordering_key)
+        return {"__set__": items}
+    if hasattr(obj, "__dict__"):
+        encoded = {
+            name: canonical(value)
+            for name, value in sorted(vars(obj).items())
+            if not name.startswith("_")
+        }
+        encoded["__class__"] = type(obj).__name__
+        return encoded
+    raise TypeError(f"cannot canonicalize {type(obj).__name__!r} for fingerprinting")
+
+
+def _ordering_key(encoded: Any) -> str:
+    """Total order over canonical structures: their JSON encoding."""
+    return json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``parts``."""
+    payload = json.dumps(
+        [canonical(part) for part in parts],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

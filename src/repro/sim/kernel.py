@@ -3,6 +3,12 @@
 A :class:`Kernel` owns simulated time (integer picoseconds) and a priority
 queue of :class:`Event` objects.  Events scheduled for the same timestamp
 run in FIFO order of scheduling, which makes flows deterministic.
+
+The kernel keeps an O(1) count of pending events (maintained on
+schedule/cancel/fire) and resolves the next event time by peeking at the
+heap head, lazily discarding cancelled entries it finds there — so the
+hot-path queries the workload runner and fast-forward paths lean on never
+scan or sort the queue.
 """
 
 from __future__ import annotations
@@ -23,18 +29,28 @@ class Event:
     directly.
     """
 
-    __slots__ = ("time_ps", "seq", "callback", "cancelled", "fired", "label")
+    __slots__ = ("time_ps", "seq", "callback", "cancelled", "fired", "label", "_kernel")
 
-    def __init__(self, time_ps: int, seq: int, callback: Callback, label: str = "") -> None:
+    def __init__(
+        self,
+        time_ps: int,
+        seq: int,
+        callback: Callback,
+        label: str = "",
+        kernel: Optional["Kernel"] = None,
+    ) -> None:
         self.time_ps = time_ps
         self.seq = seq
         self.callback: Optional[Callback] = callback
         self.cancelled = False
         self.fired = False
         self.label = label
+        self._kernel = kernel
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Cancelling a fired event is a no-op."""
+        if self.pending and self._kernel is not None:
+            self._kernel._note_cancelled()
         self.cancelled = True
         self.callback = None  # break reference cycles early
 
@@ -67,6 +83,7 @@ class Kernel:
         self._seq = 0
         self._running = False
         self._stopped = False
+        self._pending = 0
         self.events_fired = 0
 
     # --- time -------------------------------------------------------------
@@ -95,14 +112,19 @@ class Kernel:
             raise SimulationError(
                 f"cannot schedule at t={time_ps}ps, now is t={self._now_ps}ps"
             )
-        event = Event(time_ps, self._seq, callback, label)
+        event = Event(time_ps, self._seq, callback, label, kernel=self)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._pending += 1
         return event
 
     def call_soon(self, callback: Callback, label: str = "") -> Event:
         """Schedule ``callback`` at the current time, after pending same-time events."""
         return self.schedule_at(self._now_ps, callback, label)
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`Event.cancel` (once per event)."""
+        self._pending -= 1
 
     # --- execution ----------------------------------------------------------
 
@@ -117,6 +139,7 @@ class Kernel:
             callback = event.callback
             event.callback = None
             self.events_fired += 1
+            self._pending -= 1
             assert callback is not None
             callback()
             return True
@@ -166,22 +189,27 @@ class Kernel:
         """
         if time_ps < self._now_ps:
             raise SimulationError("cannot advance time backwards")
-        for event in self._queue:
-            if event.pending and event.time_ps < time_ps:
-                raise SimulationError(
-                    "advance_to would skip a pending event at "
-                    f"t={event.time_ps}ps ({event.label or 'anon'})"
-                )
+        head_ps = self.next_event_time()
+        if head_ps is not None and head_ps < time_ps:
+            head = self._queue[0]
+            raise SimulationError(
+                "advance_to would skip a pending event at "
+                f"t={head.time_ps}ps ({head.label or 'anon'})"
+            )
         self._now_ps = time_ps
 
     @property
     def pending_events(self) -> int:
         """Number of events currently scheduled (excluding cancelled ones)."""
-        return sum(1 for event in self._queue if event.pending)
+        return self._pending
 
     def next_event_time(self) -> Optional[int]:
-        """Timestamp of the earliest pending event, or None if idle."""
-        for event in sorted(self._queue):
-            if event.pending:
-                return event.time_ps
-        return None
+        """Timestamp of the earliest pending event, or None if idle.
+
+        Cancelled entries found at the heap head are discarded on the way,
+        so repeated calls stay O(1) amortized even under cancellation storms.
+        """
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        return queue[0].time_ps if queue else None

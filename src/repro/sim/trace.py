@@ -3,10 +3,19 @@
 A :class:`TraceRecorder` accumulates ``(time_ps, channel, value)`` samples.
 It is the substrate for the simulated power analyzer and for the state
 residency counters, and is handy in tests for asserting flow ordering.
+
+Storage is column-oriented: each channel holds two parallel lists
+(timestamps and values), so appends are O(1) and never allocate a sample
+object, and the point/range queries (:meth:`TraceRecorder.value_at`,
+:meth:`TraceRecorder.intervals`) locate their starting index with
+``bisect`` on the timestamp column instead of scanning the full channel
+history.  :class:`TraceSample` objects are materialized only when a
+caller asks for them.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -20,61 +29,108 @@ class TraceSample:
     value: Any
 
 
+class _Channel:
+    """Column storage for one channel: parallel timestamp/value lists."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.times: List[int] = []
+        self.values: List[Any] = []
+
+
 class TraceRecorder:
     """Append-only store of timestamped samples, indexed by channel."""
 
     def __init__(self) -> None:
-        self._samples: List[TraceSample] = []
-        self._by_channel: Dict[str, List[TraceSample]] = {}
+        self._channels: Dict[str, _Channel] = {}
+        #: Global append order as (channel, index-within-channel) pairs.
+        self._order: List[Tuple[_Channel, int]] = []
 
     def record(self, time_ps: int, channel: str, value: Any) -> None:
         """Append a sample.  Timestamps must be monotonically non-decreasing
         within a channel (events at the same time are allowed)."""
-        channel_samples = self._by_channel.setdefault(channel, [])
-        if channel_samples and time_ps < channel_samples[-1].time_ps:
+        column = self._channels.get(channel)
+        if column is None:
+            column = self._channels[channel] = _Channel(channel)
+        times = column.times
+        if times and time_ps < times[-1]:
             raise ValueError(
                 f"trace channel {channel!r} went backwards: "
-                f"{time_ps} < {channel_samples[-1].time_ps}"
+                f"{time_ps} < {times[-1]}"
             )
-        sample = TraceSample(time_ps, channel, value)
-        self._samples.append(sample)
-        channel_samples.append(sample)
+        self._order.append((column, len(times)))
+        times.append(time_ps)
+        column.values.append(value)
 
     # --- queries --------------------------------------------------------
 
     def channels(self) -> List[str]:
         """Sorted list of channel names seen so far."""
-        return sorted(self._by_channel)
+        return sorted(self._channels)
 
     def samples(self, channel: Optional[str] = None) -> List[TraceSample]:
         """All samples, or the samples of one channel, in time order."""
         if channel is None:
-            return list(self._samples)
-        return list(self._by_channel.get(channel, []))
+            return [
+                TraceSample(column.times[index], column.name, column.values[index])
+                for column, index in self._order
+            ]
+        column = self._channels.get(channel)
+        if column is None:
+            return []
+        return [
+            TraceSample(time_ps, column.name, value)
+            for time_ps, value in zip(column.times, column.values)
+        ]
 
     def last(self, channel: str) -> Optional[TraceSample]:
         """Most recent sample of ``channel``, or None."""
-        channel_samples = self._by_channel.get(channel)
-        return channel_samples[-1] if channel_samples else None
+        column = self._channels.get(channel)
+        if column is None or not column.times:
+            return None
+        return TraceSample(column.times[-1], column.name, column.values[-1])
 
     def value_at(self, channel: str, time_ps: int) -> Any:
         """Value of ``channel`` as of ``time_ps`` (step interpolation)."""
-        result: Any = None
-        for sample in self._by_channel.get(channel, []):
-            if sample.time_ps > time_ps:
-                break
-            result = sample.value
-        return result
+        column = self._channels.get(channel)
+        if column is None:
+            return None
+        index = bisect_right(column.times, time_ps)
+        if index == 0:
+            return None
+        return column.values[index - 1]
 
-    def intervals(self, channel: str, end_ps: int) -> Iterator[Tuple[int, int, Any]]:
-        """Yield ``(start_ps, stop_ps, value)`` step intervals up to ``end_ps``."""
-        channel_samples = self._by_channel.get(channel, [])
-        for current, following in zip(channel_samples, channel_samples[1:]):
-            stop = min(following.time_ps, end_ps)
-            if stop > current.time_ps:
-                yield current.time_ps, stop, current.value
-        if channel_samples and channel_samples[-1].time_ps < end_ps:
-            yield channel_samples[-1].time_ps, end_ps, channel_samples[-1].value
+    def intervals(
+        self, channel: str, end_ps: int, start_ps: Optional[int] = None
+    ) -> Iterator[Tuple[int, int, Any]]:
+        """Yield ``(start_ps, stop_ps, value)`` step intervals up to ``end_ps``.
+
+        ``start_ps`` is an optional lower bound: intervals ending at or
+        before it are skipped (located by bisection, not a scan).  The
+        first yielded interval may still begin before ``start_ps``; callers
+        that need exact clipping clip it themselves.
+        """
+        column = self._channels.get(channel)
+        if column is None:
+            return
+        times, values = column.times, column.values
+        count = len(times)
+        first = 0
+        if start_ps is not None:
+            first = bisect_right(times, start_ps) - 1
+            if first < 0:
+                first = 0
+        # Pairs of consecutive samples; stop once times reach end_ps.
+        stop_index = bisect_left(times, end_ps, first)
+        for index in range(first, min(stop_index, count - 1)):
+            lo = times[index]
+            stop = min(times[index + 1], end_ps)
+            if stop > lo:
+                yield lo, stop, values[index]
+        if count and times[-1] < end_ps:
+            yield times[-1], end_ps, values[-1]
 
     def dwell_times(self, channel: str, end_ps: int) -> Dict[Any, int]:
         """Total picoseconds spent at each value of ``channel`` up to ``end_ps``."""
@@ -85,11 +141,14 @@ class TraceRecorder:
 
     def transitions(self, channel: str) -> List[Tuple[int, Any, Any]]:
         """List of ``(time_ps, old_value, new_value)`` changes of ``channel``."""
-        channel_samples = self._by_channel.get(channel, [])
+        column = self._channels.get(channel)
+        if column is None:
+            return []
+        times, values = column.times, column.values
         return [
-            (after.time_ps, before.value, after.value)
-            for before, after in zip(channel_samples, channel_samples[1:])
-            if before.value != after.value
+            (times[index], values[index - 1], values[index])
+            for index in range(1, len(times))
+            if values[index - 1] != values[index]
         ]
 
     def ordering(self, channels: Iterable[str]) -> List[str]:
@@ -99,10 +158,10 @@ class TraceRecorder:
         """
         firsts = []
         for channel in channels:
-            channel_samples = self._by_channel.get(channel)
-            if channel_samples:
-                firsts.append((channel_samples[0].time_ps, channel_samples[0].channel))
+            column = self._channels.get(channel)
+            if column is not None and column.times:
+                firsts.append((column.times[0], column.name))
         return [name for _time, name in sorted(firsts)]
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return len(self._order)

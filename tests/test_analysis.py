@@ -7,7 +7,12 @@ from repro.analysis.report import format_table
 from repro.analysis.scaling import scale_power, scaling_factor
 from repro.analysis.sweep import relative_to_first, sweep
 from repro.config import PROCESS_14NM, PROCESS_22NM, skylake_config
-from repro.errors import ConfigError
+from repro.errors import AnalysisError, ConfigError
+
+
+def _square(value: int) -> float:
+    """Module-level (picklable) experiment for the parallel sweep test."""
+    return float(value * value)
 
 
 class TestEquation1:
@@ -143,8 +148,22 @@ class TestSweepHelpers:
         assert deltas[2][1] == pytest.approx(+0.02)
 
     def test_relative_with_zero_reference_rejected(self):
-        with pytest.raises(ZeroDivisionError):
+        with pytest.raises(AnalysisError):
             relative_to_first([(1, 0.0), (2, 5.0)])
+
+    def test_relative_with_near_zero_reference_rejected(self):
+        """Float-equality-free zero check: denormal references also raise."""
+        with pytest.raises(AnalysisError):
+            relative_to_first([(1, 1e-15), (2, 5.0)])
+
+    def test_relative_empty_points(self):
+        assert relative_to_first([]) == []
+
+    def test_parallel_sweep_matches_serial(self):
+        """parallel=True returns the same ordered pairs as the serial path."""
+        serial = sweep([1, 2, 3], _square)
+        parallel = sweep([1, 2, 3], _square, parallel=True, max_workers=2)
+        assert parallel == serial
 
 
 class TestReport:

@@ -148,6 +148,93 @@ class TestRunControl:
         assert kernel.step() is False
 
 
+class TestCancellationStorms:
+    def test_storm_at_heap_head(self, kernel):
+        """Many cancelled events at the head must not hide the survivor."""
+        doomed = [kernel.schedule(100, lambda: None) for _ in range(500)]
+        survivor = kernel.schedule(200, lambda: None)
+        for event in doomed:
+            event.cancel()
+        assert kernel.pending_events == 1
+        assert kernel.next_event_time() == 200
+        fired = kernel.run()
+        assert fired == 1
+        assert kernel.events_fired == 1
+        assert survivor.fired
+
+    def test_next_event_time_discards_cancelled_head(self, kernel):
+        for _ in range(10):
+            kernel.schedule(50, lambda: None).cancel()
+        kernel.schedule(75, lambda: None)
+        assert kernel.next_event_time() == 75
+        # lazy cleanup dropped the cancelled entries from the queue head
+        assert kernel.next_event_time() == 75
+
+    def test_cancel_twice_counts_once(self, kernel):
+        event = kernel.schedule(100, lambda: None)
+        kernel.schedule(200, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert kernel.pending_events == 1
+
+    def test_cancel_after_fire_keeps_accounting(self, kernel):
+        event = kernel.schedule(100, lambda: None)
+        kernel.schedule(200, lambda: None)
+        kernel.run(max_events=1)
+        event.cancel()  # no-op: already fired
+        assert kernel.pending_events == 1
+        assert kernel.events_fired == 1
+
+    def test_storm_interleaved_with_fires(self, kernel):
+        fired = []
+        events = [
+            kernel.schedule(10 * (index + 1), lambda i=index: fired.append(i))
+            for index in range(100)
+        ]
+        for event in events[::2]:
+            event.cancel()
+        assert kernel.pending_events == 50
+        assert kernel.run() == 50
+        assert fired == list(range(1, 100, 2))
+        assert kernel.pending_events == 0
+        assert kernel.events_fired == 50
+
+
+class TestStopMidRun:
+    def test_stop_leaves_queue_consistent(self, kernel):
+        fired = []
+
+        def second():
+            fired.append(2)
+            kernel.stop()
+
+        kernel.schedule(100, lambda: fired.append(1))
+        kernel.schedule(200, second)
+        kernel.schedule(300, lambda: fired.append(3))
+        kernel.schedule(400, lambda: fired.append(4))
+        assert kernel.run() == 2
+        assert fired == [1, 2]
+        assert kernel.pending_events == 2
+        assert kernel.next_event_time() == 300
+        assert kernel.events_fired == 2
+
+    def test_resume_after_stop(self, kernel):
+        fired = []
+        kernel.schedule(100, lambda: (fired.append(1), kernel.stop()))
+        kernel.schedule(200, lambda: fired.append(2))
+        kernel.run()
+        kernel.run()
+        assert fired == [1, 2]
+        assert kernel.pending_events == 0
+
+    def test_stop_skips_until_window_extension(self, kernel):
+        """A stopped run must not jump time forward to until_ps."""
+        kernel.schedule(100, lambda: kernel.stop())
+        kernel.schedule(900, lambda: None)
+        kernel.run(until_ps=500)
+        assert kernel.now == 100
+
+
 class TestAdvanceTo:
     def test_advance_over_idle_gap(self, kernel):
         kernel.advance_to(12345)
@@ -168,6 +255,24 @@ class TestAdvanceTo:
         event.cancel()
         kernel.advance_to(200)
         assert kernel.now == 200
+
+    def test_advance_exactly_onto_pending_event(self, kernel):
+        """Advancing to exactly a pending event's timestamp is legal: the
+        event has not been skipped — it still fires at that time."""
+        fired = []
+        kernel.schedule(100, lambda: fired.append(kernel.now))
+        kernel.advance_to(100)
+        assert kernel.now == 100
+        assert kernel.pending_events == 1
+        kernel.run()
+        assert fired == [100]
+
+    def test_advance_through_cancellation_storm(self, kernel):
+        for _ in range(100):
+            kernel.schedule(50, lambda: None).cancel()
+        kernel.schedule(500, lambda: None)
+        kernel.advance_to(400)  # cancelled events at t=50 are not pending
+        assert kernel.now == 400
 
     def test_next_event_time(self, kernel):
         assert kernel.next_event_time() is None
