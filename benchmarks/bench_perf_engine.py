@@ -18,6 +18,7 @@ import pytest
 
 from repro.core.experiments import fig2_connected_standby, fig6b_core_frequency
 from repro.measure.analyzer import PowerAnalyzer
+from repro.obs.tracer import observe
 from repro.perf import SimulationCache
 from repro.sim.kernel import Kernel
 from repro.sim.trace import TraceRecorder
@@ -165,6 +166,41 @@ def test_memoized_experiment_rerun(benchmark, emit):
     }
     emit(f"memoized fig2 rerun: {warm_s * 1e3:.2f} ms vs cold "
          f"{cold_s:.2f} s ({cold_s / warm_s:,.0f}x)")
+
+
+def test_tracer_overhead_on_fig2(benchmark, emit):
+    """repro.obs disabled vs enabled: the off switch must stay near-free.
+
+    With no tracer installed every instrumented seam is one ``obs is
+    None`` attribute check; fig2 with tracing disabled must therefore not
+    cost more than an observed run beyond a 3% noise budget (the
+    observability PR's acceptance criterion), and both figures land in
+    BENCH_perf.json so CI can watch the gap.
+    """
+    def dark():
+        return fig2_connected_standby(cycles=1)
+
+    dark()  # warm imports and allocator pools outside both clocks
+    enabled_samples = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        with observe():
+            fig2_connected_standby(cycles=1)
+        enabled_samples.append(time.perf_counter() - t0)
+    enabled_s = min(enabled_samples)
+
+    benchmark.pedantic(dark, rounds=3, iterations=1)
+    disabled_s = min(benchmark.stats.stats.data)
+
+    assert disabled_s <= enabled_s * 1.03
+    overhead = enabled_s / disabled_s - 1.0
+    _results["tracer_overhead_fig2"] = {
+        "wall_s": disabled_s,
+        "enabled_wall_s": enabled_s,
+        "enabled_overhead_frac": overhead,
+    }
+    emit(f"tracer overhead on fig2: disabled {disabled_s:.2f} s, enabled "
+         f"{enabled_s:.2f} s ({overhead:+.1%} when tracing)")
 
 
 def test_parallel_sweep_matches_serial(benchmark, emit):

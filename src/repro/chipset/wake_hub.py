@@ -27,6 +27,8 @@ class WakeHub:
         self._timer_target: Optional[int] = None
         self._owning = False
         self.history: List[WakeEvent] = []
+        #: Optional repro.obs tracer; None keeps dispatch at one attribute check.
+        self.obs = None
 
     # --- ownership -----------------------------------------------------------
 
@@ -86,6 +88,11 @@ class WakeHub:
             self._timer_event.cancel()
             self._timer_event = None
         self.history.append(event)
+        obs = self.obs
+        if obs is not None:
+            obs.wake_delivered(
+                event.event_type.name.lower(), self.kernel.now, event.detail
+            )
         if self._wake_callback is None:
             raise FlowError("wake hub fired with no callback installed")
         self._wake_callback(event)

@@ -12,6 +12,9 @@ Examples::
     python -m repro battery --battery-wh 50
     python -m repro lint           # static model verifier + source checker
     python -m repro lint --json --select M1 --ignore S405
+    python -m repro trace fig2 --out trace.json   # Perfetto-loadable trace
+    python -m repro fig2 --trace   # run instrumented, print the span digest
+    python -m repro fig6a --cache  # memoized runs + hit/miss stats
 """
 
 from __future__ import annotations
@@ -60,8 +63,13 @@ def cmd_fig1b(args: argparse.Namespace) -> None:
                        title="Fig. 1(b) - DRIPS power breakdown"))
 
 
+def _cache_of(args: argparse.Namespace):
+    """The run-wide SimulationCache main() created for --cache, if any."""
+    return getattr(args, "cache_obj", None)
+
+
 def cmd_fig2(args: argparse.Namespace) -> None:
-    result = fig2_connected_standby(cycles=args.cycles)
+    result = fig2_connected_standby(cycles=args.cycles, cache=_cache_of(args))
     rows = [
         ["DRIPS residency", f"{result.drips_residency:.2%}", "99.5 %"],
         ["DRIPS power", f"{result.drips_power_mw:.1f} mW", "~60 mW"],
@@ -73,7 +81,7 @@ def cmd_fig2(args: argparse.Namespace) -> None:
 
 
 def cmd_fig6a(args: argparse.Namespace) -> None:
-    result = fig6a_techniques(cycles=args.cycles)
+    result = fig6a_techniques(cycles=args.cycles, cache=_cache_of(args))
     rows = [["Baseline (DRIPS)", f"{result.baseline_mw:.1f} mW", "-", "-"]]
     for row in result.rows:
         rows.append([row.label, f"{row.average_power_mw:.1f} mW",
@@ -112,7 +120,7 @@ def cmd_fig6c(args: argparse.Namespace) -> None:
 
 def cmd_fig6d(args: argparse.Namespace) -> None:
     rows = []
-    for row in fig6d_emerging_memories(cycles=args.cycles):
+    for row in fig6d_emerging_memories(cycles=args.cycles, cache=_cache_of(args)):
         rows.append([row.label, f"{row.average_power_mw:.1f} mW",
                      f"{row.saving_vs_baseline:.1%}", f"{row.paper_saving:.1%}"])
     print(format_table(["configuration", "avg power", "saving", "paper"], rows,
@@ -223,7 +231,7 @@ def cmd_battery(args: argparse.Namespace) -> None:
         ("ODRIPS", TechniqueSet.odrips()),
         ("ODRIPS-PCM", TechniqueSet.odrips_pcm()),
     ]:
-        measurements[label] = ODRIPSController(techniques).measure(
+        measurements[label] = ODRIPSController(techniques, cache=_cache_of(args)).measure(
             cycles=args.cycles
         ).average_power_w
     rows = [
@@ -235,6 +243,29 @@ def cmd_battery(args: argparse.Namespace) -> None:
         rows,
         title="Connected-standby battery life",
     ))
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one observed experiment and export its trace + energy ledger."""
+    from repro import obs
+    from repro.errors import ConfigError
+
+    target = args.target or "fig2"
+    try:
+        session = obs.run_traced(target, cycles=args.cycles)
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    out = args.out or f"trace-{target}.json"
+    path = obs.write_chrome_trace(session.tracer, out, platform=session.platform)
+    print(obs.render_summary(session.tracer, ledger=session.ledger))
+    print()
+    print(f"Chrome trace written to {path} - load it in Perfetto "
+          "(ui.perfetto.dev) or chrome://tracing")
+    if args.jsonl:
+        jsonl_path = obs.write_jsonl(session.tracer, args.jsonl)
+        print(f"JSONL event log written to {jsonl_path}")
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -307,12 +338,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all", "lint"],
-        help="which paper experiment to run (or 'lint' for static analysis)",
+        choices=sorted(COMMANDS) + ["all", "lint", "trace"],
+        help="which paper experiment to run ('lint' for static analysis, "
+             "'trace' for an observed run with Perfetto export)",
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="trace: configuration to observe (fig2, baseline, wake-up-off, "
+             "aon-io-gate, ctx, odrips, odrips-mram, odrips-pcm; default fig2)",
     )
     parser.add_argument(
         "--cycles", type=int, default=2,
         help="measured connected-standby cycles per configuration (default 2)",
+    )
+    obs_group = parser.add_argument_group("observability options")
+    obs_group.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="trace: Chrome trace-event JSON output path (default trace-<target>.json)",
+    )
+    obs_group.add_argument(
+        "--jsonl", metavar="FILE", default=None,
+        help="trace: also write a flat JSONL event log",
+    )
+    obs_group.add_argument(
+        "--trace", action="store_true",
+        help="run the experiment instrumented and print the span/metric digest",
+    )
+    obs_group.add_argument(
+        "--metrics", action="store_true",
+        help="run the experiment instrumented and print the metrics tables",
+    )
+    obs_group.add_argument(
+        "--cache", action="store_true",
+        help="memoize simulation runs and report cache hit/miss stats",
     )
     parser.add_argument(
         "--break-even", action="store_true",
@@ -346,13 +404,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "lint":
         return cmd_lint(args)
-    if args.experiment == "all":
-        for name in ["table1", "fig1b", "fig2", "fig6a", "fig6b", "fig6c",
-                     "fig6d", "latency", "calibration", "ablations"]:
-            COMMANDS[name](args)
-            print()
-    else:
-        COMMANDS[args.experiment](args)
+    if args.experiment == "trace":
+        return cmd_trace(args)
+
+    args.cache_obj = None
+    if args.cache:
+        from repro.perf.cache import SimulationCache
+
+        args.cache_obj = SimulationCache()
+
+    tracer = None
+    if args.trace or args.metrics:
+        from repro import obs
+
+        tracer = obs.install()
+    try:
+        if args.experiment == "all":
+            for name in ["table1", "fig1b", "fig2", "fig6a", "fig6b", "fig6c",
+                         "fig6d", "latency", "calibration", "ablations"]:
+                COMMANDS[name](args)
+                print()
+        else:
+            COMMANDS[args.experiment](args)
+    finally:
+        if tracer is not None:
+            from repro import obs
+
+            obs.uninstall()
+    if tracer is not None:
+        from repro import obs
+
+        print()
+        print(obs.render_summary(tracer, include_spans=args.trace))
+    if args.cache_obj is not None:
+        stats = args.cache_obj.stats
+        print()
+        print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+              f"{stats.hit_rate:.0%} hit rate over {stats.lookups} lookup(s)")
     return 0
 
 

@@ -81,6 +81,12 @@ class ModelView:
     buffers: List[ClockBuffer] = field(default_factory=list)
     fsm: Optional[FSMView] = None
     flows: List[FlowView] = field(default_factory=list)
+    #: Declared flow-step span labels (flow name -> ordered label tuple),
+    #: from the platform's ``observability_description()`` hook.  None
+    #: means the model is uninstrumented (no ``obs`` seam at all); an
+    #: empty dict means the platform is instrumented but declared nothing,
+    #: which the span-discipline rule flags.
+    obs_spans: Optional[Dict[str, Tuple[str, ...]]] = None
 
     # --- derived views used by several rules -----------------------------
 
@@ -159,6 +165,7 @@ def walk_model(root: Any) -> ModelView:
     view.buffers.sort(key=lambda buffer: buffer.name)
     view.fsm = _fsm_view_of(root)
     view.flows = _flow_views_of(root)
+    view.obs_spans = _obs_spans_of(root)
     return view
 
 
@@ -185,6 +192,22 @@ def _flow_views_of(root: Any) -> List[FlowView]:
     if describe is None:
         return []
     return [FlowView(name=name, steps=tuple(steps)) for name, steps in describe().items()]
+
+
+def _obs_spans_of(root: Any) -> Optional[Dict[str, Tuple[str, ...]]]:
+    """Read the platform's declared flow-span labels (observability hook).
+
+    Platforms without an ``obs`` attribute are uninstrumented models
+    (e.g. bare test fixtures) and owe no declaration: they map to None.
+    """
+    describe = getattr(root, "observability_description", None)
+    if describe is None:
+        return {} if hasattr(root, "obs") else None
+    spec = describe()
+    return {
+        name: tuple(labels)
+        for name, labels in spec.get("flow_span_labels", {}).items()
+    }
 
 
 def lint_model_view(view: ModelView) -> List[Diagnostic]:

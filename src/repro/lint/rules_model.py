@@ -379,6 +379,58 @@ def _check_flow_unknown_domain(rule: ModelRule, view: ModelView) -> Iterator[Dia
                 )
 
 
+def _check_flow_span_discipline(rule: ModelRule, view: ModelView) -> Iterator[Diagnostic]:
+    """Every instrumented flow step must open and close exactly one span.
+
+    The flow controller tiles a flow with step spans keyed by the
+    ``_step`` labels; the platform declares that tiling through
+    ``observability_description()``.  A declaration missing a step (or
+    naming one the flow never reaches) means an instrumented span is
+    opened without ever being closed — a leak the exporters would carry
+    forever — so the declared labels must match the declared flow steps
+    exactly, in order, with no duplicates.
+    """
+    if not view.flows:
+        return
+    declared = view.obs_spans
+    if declared is None:
+        return  # uninstrumented model: no span contract to verify
+    if not declared:
+        yield rule.diagnostic(
+            "instrumented platform declares entry/exit flows but no observability "
+            "description; its flow-step spans cannot be verified against the flow specs",
+            obj="platform",
+            hint="implement observability_description() returning 'flow_span_labels'",
+        )
+        return
+    for flow in view.flows:
+        labels = declared.get(flow.name)
+        step_labels = tuple(step.label for step in flow.steps)
+        if labels is None:
+            yield rule.diagnostic(
+                f"flow {flow.name!r} declares no span labels; its instrumented "
+                "steps would open spans no declaration accounts for",
+                obj=f"flow {flow.name}",
+                hint="add the flow to the platform's flow_span_labels declaration",
+            )
+            continue
+        duplicates = sorted({label for label in labels if labels.count(label) > 1})
+        for label in duplicates:
+            yield rule.diagnostic(
+                f"flow {flow.name!r} declares span label {label!r} more than once; "
+                "a repeated label would close the wrong step's span",
+                obj=f"flow {flow.name}:{label}",
+            )
+        if labels != step_labels:
+            yield rule.diagnostic(
+                f"flow {flow.name!r} span labels do not match its declared steps "
+                f"(spans {list(labels)!r} vs steps {list(step_labels)!r}); a "
+                "mismatched step opens a span that is never closed",
+                obj=f"flow {flow.name}",
+                hint="every instrumented flow step must open and close its own span",
+            )
+
+
 def _check_flow_gated_domain(rule: ModelRule, view: ModelView) -> Iterator[Diagnostic]:
     for flow in view.flows:
         gated: Dict[str, str] = {}  # domain name -> label of the step that gated it
@@ -441,4 +493,6 @@ MODEL_RULES: Tuple[ModelRule, ...] = (
           _check_flow_unknown_domain),
     _rule("M305", "flow-gated-domain", "flow step requires a domain gated off earlier",
           _check_flow_gated_domain),
+    _rule("M306", "flow-span-discipline", "instrumented flow step must open and close its span",
+          _check_flow_span_discipline),
 )

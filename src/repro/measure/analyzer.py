@@ -28,6 +28,7 @@ from fractions import Fraction
 from typing import List, Tuple
 
 from repro.errors import MeasurementError
+from repro.obs.tracer import MEASURE_TRACK, active as _active_tracer
 from repro.sim.trace import TraceRecorder
 from repro.system.states import POWER_CHANNEL
 from repro.units import PICOSECONDS_PER_SECOND, us_to_ps
@@ -154,7 +155,7 @@ class PowerAnalyzer:
         for count, watts in runs:
             acc += Fraction(watts) * count
         values = [watts for _count, watts in runs]
-        return AnalyzerReading(
+        reading = AnalyzerReading(
             start_ps=start_ps,
             end_ps=end_ps,
             samples=total,
@@ -162,6 +163,17 @@ class PowerAnalyzer:
             min_watts=min(values),
             max_watts=max(values),
         )
+        tracer = _active_tracer()
+        if tracer is not None:
+            window = tracer.begin(
+                f"analyzer:{self.channel}",
+                start_ps,
+                track=MEASURE_TRACK,
+                args={"average_watts": reading.average_watts, "samples": total},
+            )
+            tracer.end(window, end_ps)
+            tracer.metrics.counter("analyzer.measurements").inc()
+        return reading
 
     def exact_average(self, start_ps: int, end_ps: int) -> float:
         """Exact trace integral over the window (the reference value)."""

@@ -1,0 +1,104 @@
+"""repro.obs — structured tracing, metrics, and energy attribution.
+
+The observability layer of the reproduction: a span/event
+:class:`Tracer` stamped in simulated time, a
+:class:`~repro.obs.metrics.MetricsRegistry` of counters/gauges/
+histograms, an :class:`EnergyLedger` attributing per-domain energy to
+flow steps, and exporters for Chrome trace JSON (Perfetto), JSONL, and
+terminal summaries.
+
+Quick start::
+
+    from repro import obs
+    from repro.core import ODRIPSController, TechniqueSet
+
+    with obs.observe() as tracer:
+        ODRIPSController(TechniqueSet.odrips()).measure(cycles=1)
+    print(obs.render_summary(tracer))
+    obs.write_chrome_trace(tracer, "trace.json", platform=tracer.platforms[-1])
+
+Instrumentation is opt-in and zero-cost when disabled: the hot seams
+guard on one ``obs is not None`` attribute check, and tracer state never
+perturbs simulated time or the :mod:`repro.perf` cache fingerprints.
+
+The exporters and the traced runner are loaded lazily (PEP 562): the
+instrumented modules (kernel, flows, PMU, cache, analyzer) import
+:mod:`repro.obs.tracer` at module scope, and an eager import of
+:mod:`repro.obs.run` here would close an import cycle back through
+:mod:`repro.core`.
+"""
+
+from repro.obs.ledger import EnergyLedger, LedgerCell
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    FLOW_STEP_TRACK,
+    FLOW_TRACK,
+    KERNEL_TRACK,
+    MEASURE_TRACK,
+    PMU_TRACK,
+    WAKE_TRACK,
+    Instant,
+    Span,
+    Tracer,
+    active,
+    install,
+    observe,
+    uninstall,
+)
+
+#: Lazily-resolved public names -> defining module (import-cycle guard).
+_LAZY = {
+    "chrome_trace": "repro.obs.export",
+    "jsonl_lines": "repro.obs.export",
+    "render_summary": "repro.obs.export",
+    "write_chrome_trace": "repro.obs.export",
+    "write_jsonl": "repro.obs.export",
+    "TRACE_CONFIGS": "repro.obs.run",
+    "TraceSession": "repro.obs.run",
+    "run_traced": "repro.obs.run",
+}
+
+__all__ = [
+    "Counter",
+    "EnergyLedger",
+    "FLOW_STEP_TRACK",
+    "FLOW_TRACK",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "KERNEL_TRACK",
+    "LedgerCell",
+    "MEASURE_TRACK",
+    "MetricsRegistry",
+    "PMU_TRACK",
+    "Span",
+    "TRACE_CONFIGS",
+    "TraceSession",
+    "Tracer",
+    "WAKE_TRACK",
+    "active",
+    "chrome_trace",
+    "install",
+    "jsonl_lines",
+    "observe",
+    "render_summary",
+    "run_traced",
+    "uninstall",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,309 @@
+"""Exporters for observed runs: Chrome trace JSON, JSONL, terminal tables.
+
+Three views of one :class:`~repro.obs.tracer.Tracer`:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event JSON format (``{"traceEvents": [...]}``) that Perfetto and
+  ``chrome://tracing`` load directly.  Spans become ``"X"`` (complete)
+  events, instants become ``"i"`` events, and — when a platform is given
+  — the platform-state timeline becomes its own track and the recorded
+  power channels become ``"C"`` counter tracks.  Timestamps are the
+  simulated time converted to microseconds (the format's unit).
+* :func:`jsonl_lines` / :func:`write_jsonl` — a flat, grep-able event
+  log: one JSON object per span/instant, then one per metric.
+* :func:`render_summary` — an aligned terminal digest (span totals,
+  counters, histograms) built on the same table renderer the experiment
+  commands use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.analysis.report import format_table
+from repro.obs.ledger import EnergyLedger
+from repro.obs.tracer import Tracer
+
+#: Process id used for every simulated-timeline event.
+TRACE_PID = 1
+
+#: picoseconds per microsecond (the trace-event timestamp unit).
+_PS_PER_US = 1_000_000
+
+
+def _ts(time_ps: int) -> float:
+    """Simulated picoseconds -> trace-event microseconds."""
+    return time_ps / _PS_PER_US
+
+
+def _track_ids(tracer: Tracer, platform: Optional[Any]) -> Dict[str, int]:
+    """Stable track-name -> tid assignment, in first-use order."""
+    order: List[str] = []
+    for span in tracer.spans:
+        if span.track not in order:
+            order.append(span.track)
+    for instant in tracer.instants:
+        if instant.track not in order:
+            order.append(instant.track)
+    if platform is not None and "state" not in order:
+        order.append("state")
+    return {name: index for index, name in enumerate(order)}
+
+
+def chrome_trace(
+    tracer: Tracer,
+    platform: Optional[Any] = None,
+    end_ps: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Build a Chrome trace-event document from an observed run.
+
+    ``platform`` adds its state timeline and power-counter tracks from
+    the platform's :class:`~repro.sim.trace.TraceRecorder`; ``end_ps``
+    bounds them (default: the platform kernel's final time).
+    """
+    tracks = _track_ids(tracer, platform)
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "repro-sim"},
+        }
+    ]
+    for track, tid in tracks.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for span in tracer.spans:
+        tid = tracks[span.track]
+        if span.closed:
+            event = {
+                "name": span.name,
+                "cat": span.track,
+                "ph": "X",
+                "ts": _ts(span.start_ps),
+                "dur": _ts(span.duration_ps),
+                "pid": TRACE_PID,
+                "tid": tid,
+            }
+        else:  # leaked span: emit the open edge so the leak is visible
+            event = {
+                "name": span.name,
+                "cat": span.track,
+                "ph": "B",
+                "ts": _ts(span.start_ps),
+                "pid": TRACE_PID,
+                "tid": tid,
+            }
+        if span.args:
+            event["args"] = dict(span.args)
+        events.append(event)
+    for instant in tracer.instants:
+        event = {
+            "name": instant.name,
+            "cat": instant.track,
+            "ph": "i",
+            "ts": _ts(instant.time_ps),
+            "pid": TRACE_PID,
+            "tid": tracks[instant.track],
+            "s": "t",
+        }
+        if instant.args:
+            event["args"] = dict(instant.args)
+        events.append(event)
+    if platform is not None:
+        events.extend(_platform_events(platform, tracks, end_ps))
+    events.sort(key=lambda event: (event.get("ts", -1.0), event["ph"] != "M"))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "clock": "simulated",
+            "spans": len(tracer.spans),
+            "instants": len(tracer.instants),
+        },
+    }
+
+
+def _platform_events(
+    platform: Any, tracks: Dict[str, int], end_ps: Optional[int]
+) -> Iterator[Dict[str, Any]]:
+    """State-track spans and power-counter events from a platform trace."""
+    trace = platform.trace
+    horizon_ps = end_ps if end_ps is not None else platform.kernel.now
+    state_tid = tracks.get("state", len(tracks))
+    for lo, hi, value in trace.intervals("state", horizon_ps):
+        if hi > lo:
+            yield {
+                "name": str(value),
+                "cat": "state",
+                "ph": "X",
+                "ts": _ts(lo),
+                "dur": _ts(hi - lo),
+                "pid": TRACE_PID,
+                "tid": state_tid,
+            }
+    for channel in trace.channels():
+        if channel != "platform" and not channel.startswith("rail:"):
+            continue
+        for sample in trace.samples(channel):
+            if sample.time_ps > horizon_ps:
+                break
+            yield {
+                "name": channel,
+                "ph": "C",
+                "ts": _ts(sample.time_ps),
+                "pid": TRACE_PID,
+                "args": {"watts": sample.value},
+            }
+
+
+def write_chrome_trace(
+    tracer: Tracer,
+    path: Union[str, Path],
+    platform: Optional[Any] = None,
+    end_ps: Optional[int] = None,
+) -> Path:
+    """Write :func:`chrome_trace` output to ``path`` and return it."""
+    target = Path(path)
+    document = chrome_trace(tracer, platform=platform, end_ps=end_ps)
+    target.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    return target
+
+
+# --- JSONL --------------------------------------------------------------------
+
+
+def jsonl_lines(tracer: Tracer) -> Iterator[str]:
+    """One JSON object per recorded span/instant, then per metric."""
+    for span in tracer.spans:
+        record: Dict[str, Any] = {
+            "type": "span",
+            "track": span.track,
+            "name": span.name,
+            "start_ps": span.start_ps,
+            "end_ps": span.end_ps,
+            "duration_ps": span.duration_ps if span.closed else None,
+        }
+        if span.args:
+            record["args"] = dict(span.args)
+        yield json.dumps(record, sort_keys=True)
+    for instant in tracer.instants:
+        record = {
+            "type": "instant",
+            "track": instant.track,
+            "name": instant.name,
+            "time_ps": instant.time_ps,
+        }
+        if instant.args:
+            record["args"] = dict(instant.args)
+        yield json.dumps(record, sort_keys=True)
+    snapshot = tracer.metrics.snapshot()
+    for name, value in snapshot["counters"].items():
+        yield json.dumps({"type": "counter", "name": name, "value": value}, sort_keys=True)
+    for name, value in snapshot["gauges"].items():
+        yield json.dumps({"type": "gauge", "name": name, "value": value}, sort_keys=True)
+    for name, stats in snapshot["histograms"].items():
+        yield json.dumps(
+            {"type": "histogram", "name": name, **stats}, sort_keys=True
+        )
+
+
+def write_jsonl(tracer: Tracer, path: Union[str, Path]) -> Path:
+    target = Path(path)
+    target.write_text("".join(line + "\n" for line in jsonl_lines(tracer)))
+    return target
+
+
+# --- terminal summary ---------------------------------------------------------
+
+
+def render_summary(
+    tracer: Tracer,
+    ledger: Optional[EnergyLedger] = None,
+    include_spans: bool = True,
+) -> str:
+    """Aligned terminal digest of an observed run.
+
+    ``include_spans=False`` restricts the digest to the metrics tables
+    (the CLI's ``--metrics`` view).
+    """
+    sections: List[str] = []
+
+    if include_spans:
+        totals: Dict[tuple, List[int]] = {}
+        for span in tracer.closed_spans():
+            key = (span.track, span.name)
+            entry = totals.setdefault(key, [0, 0])
+            entry[0] += 1
+            entry[1] += span.duration_ps
+        if totals:
+            rows = [
+                [track, name, count, f"{total_ps / 1e6:,.2f} us"]
+                for (track, name), (count, total_ps) in sorted(
+                    totals.items(), key=lambda item: (item[0][0], -item[1][1])
+                )
+            ]
+            sections.append(
+                format_table(["track", "span", "count", "total sim time"], rows,
+                             title="Spans")
+            )
+        leaked = tracer.open_spans()
+        if leaked:
+            rows = [[span.track, span.name, span.start_ps] for span in leaked]
+            sections.append(
+                format_table(["track", "span", "opened at (ps)"], rows,
+                             title="LEAKED SPANS (never closed)")
+            )
+
+    counters = tracer.metrics.counters()
+    if counters:
+        rows = [[name, value] for name, value in counters.items()]
+        sections.append(format_table(["counter", "value"], rows, title="Counters"))
+    histograms = tracer.metrics.histograms()
+    if histograms:
+        rows = [
+            [name, hist.count, hist.mean, hist.percentile(0.5), hist.percentile(0.95)]
+            for name, hist in histograms.items()
+        ]
+        sections.append(
+            format_table(["histogram", "count", "mean", "p50", "p95"], rows,
+                         title="Histograms")
+        )
+
+    if ledger is not None:
+        rows = [
+            [domain, f"{joules:.6f} J", f"{watts * 1e3:.3f} mW"]
+            for domain, joules, watts in ledger.domain_rows()
+        ]
+        rows.append(
+            ["TOTAL", f"{ledger.total_energy_j:.6f} J",
+             f"{ledger.average_power_w * 1e3:.3f} mW"]
+        )
+        sections.append(
+            format_table(
+                ["domain", "energy", "avg power"], rows,
+                title=f"Energy ledger ({ledger.window_s:.2f} s window)",
+            )
+        )
+        step_rows = ledger.step_rows(limit=12)
+        if step_rows:
+            rows = [
+                [span, domain, f"{joules * 1e6:,.3f} uJ"]
+                for span, domain, joules in step_rows
+            ]
+            sections.append(
+                format_table(["flow step", "domain", "energy"], rows,
+                             title="Flow-step attribution (top cells)")
+            )
+    return "\n\n".join(sections)

@@ -1,0 +1,146 @@
+"""Counters, gauges and histograms for observed runs.
+
+A :class:`MetricsRegistry` is the aggregate side of :mod:`repro.obs`:
+where spans record *when* something happened, metrics record *how often*
+and *how much*.  Instruments are created lazily on first use and are
+plain Python objects — no background threads, no sampling, no host
+clocks — so they are safe to update from simulation callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.errors import MeasurementError
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise MeasurementError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (e.g. pending events, open spans)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A distribution of observations (e.g. flow latencies).
+
+    Keeps every observation: observed runs record at most a few thousand
+    values, and exact percentiles beat bucketed approximations at that
+    scale.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: Number) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile; ``fraction`` in [0, 1]."""
+        if not 0.0 <= fraction <= 1.0:
+            raise MeasurementError(f"percentile fraction {fraction} outside [0, 1]")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+
+class MetricsRegistry:
+    """Lazily-created named instruments, one namespace per tracer."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # --- views -----------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges(self) -> Dict[str, Number]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(sorted(self._histograms.items()))
+
+    def counter_value(self, name: str, default: int = 0) -> int:
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else default
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-able view of every instrument (for the JSONL exporter)."""
+        return {
+            "counters": dict(self.counters()),
+            "gauges": dict(self.gauges()),
+            "histograms": {
+                name: {
+                    "count": hist.count,
+                    "total": hist.total,
+                    "mean": hist.mean,
+                    "p50": hist.percentile(0.50),
+                    "p95": hist.percentile(0.95),
+                }
+                for name, hist in self.histograms().items()
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

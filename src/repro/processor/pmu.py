@@ -47,6 +47,8 @@ class ProcessorPMU:
         #: Firmware scratch registers that must survive DRIPS (restored by
         #: the Boot FSM in CTX mode).
         self.firmware_state: Dict[str, int] = {"patch_rev": 0x2100, "flow_flags": 0}
+        #: Optional repro.obs tracer; None keeps set_mode at one attribute check.
+        self.obs = None
 
     # --- gating modes -------------------------------------------------------
 
@@ -65,6 +67,9 @@ class ProcessorPMU:
             self.component.set_power(0.0)
         else:
             raise FlowError(f"unknown PMU mode {mode!r}")
+        obs = self.obs
+        if obs is not None and mode != self._mode:
+            obs.pmu_transition(self._mode, mode, self.kernel.now)
         self._mode = mode
 
     # --- idle-state selection (LTR + TNTE, Sec. 2.2) ---------------------------

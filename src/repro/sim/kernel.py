@@ -85,6 +85,8 @@ class Kernel:
         self._stopped = False
         self._pending = 0
         self.events_fired = 0
+        #: Optional repro.obs tracer; None keeps dispatch at one attribute check.
+        self.obs = None
 
     # --- time -------------------------------------------------------------
 
@@ -140,6 +142,9 @@ class Kernel:
             event.callback = None
             self.events_fired += 1
             self._pending -= 1
+            obs = self.obs
+            if obs is not None:
+                obs.kernel_event(event.label, event.time_ps)
             assert callback is not None
             callback()
             return True

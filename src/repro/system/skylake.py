@@ -28,6 +28,7 @@ from repro.memory.nvm import EMRAMDevice
 from repro.memory.region import MemoryRegion
 from repro.memory.sram import SRAMDevice
 from repro.memory.wear_leveling import RotatingContextAllocator
+from repro.obs.tracer import active as _active_tracer
 from repro.power.meter import EnergyMeter
 from repro.power.tree import PowerTree
 from repro.processor.boot import BootSRAM
@@ -255,6 +256,18 @@ class SkylakePlatform:
         self._booted = False
         self.wake_log = []
 
+        # --- observability (repro.obs) -------------------------------------------------------------------------------
+        # Construction-time opt-in: platforms built while a tracer is
+        # installed hand it to the hot seams; otherwise every seam stays
+        # at a single `obs is None` attribute check.
+        obs = _active_tracer()
+        self.obs = obs
+        self.kernel.obs = obs
+        self.pmu.obs = obs
+        self.chipset.wake_hub.obs = obs
+        if obs is not None:
+            obs.attach_platform(self)
+
     # ------------------------------------------------------------------ boot
 
     def boot(self) -> None:
@@ -433,6 +446,16 @@ class SkylakePlatform:
         from repro.system.flows import ENTRY_FLOW_SPEC, EXIT_FLOW_SPEC
 
         return {"entry": ENTRY_FLOW_SPEC, "exit": EXIT_FLOW_SPEC}
+
+    def observability_description(self) -> Dict[str, object]:
+        """Declared flow-step span labels, for the span-discipline rule."""
+        from repro.system.flows import FLOW_SPAN_TABLE
+
+        return {
+            "flow_span_labels": {
+                name: tuple(labels) for name, labels in FLOW_SPAN_TABLE.items()
+            }
+        }
 
     # ------------------------------------------------------------------ queries
 

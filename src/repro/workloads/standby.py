@@ -20,6 +20,7 @@ from repro.config import StandbyWorkloadConfig
 from repro.errors import WorkloadError
 from repro.io.wake import WakeEventType
 from repro.measure.residency import ResidencyReport, residency_report
+from repro.obs.tracer import MEASURE_TRACK
 from repro.system.flows import FlowController
 from repro.system.skylake import SkylakePlatform
 from repro.system.states import PlatformState
@@ -212,6 +213,11 @@ class ConnectedStandbyRunner:
             )
         window_start = p.wake_log[warmup_cycles].time_ps
         window_end = p.wake_log[warmup_cycles + cycles].time_ps
+        obs = p.obs
+        if obs is not None:
+            obs.set_window(window_start, window_end)
+            window = obs.begin("measure:window", window_start, track=MEASURE_TRACK)
+            obs.end(window, window_end)
         p.meter.advance(p.kernel.now)
         report = residency_report(p.trace, window_start, window_end)
         average = report.total_average_power()

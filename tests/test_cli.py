@@ -75,3 +75,57 @@ class TestExamplesCompile:
         assert len(examples) >= 8
         for path in examples:
             py_compile.compile(str(path), doraise=True)
+
+
+class TestTraceCommand:
+    def test_trace_parses_with_optional_target(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.experiment == "trace"
+        assert args.target is None
+        args = build_parser().parse_args(["trace", "odrips", "--out", "t.json"])
+        assert args.target == "odrips"
+        assert args.out == "t.json"
+
+    def test_unknown_target_exits_2(self, capsys):
+        assert main(["trace", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown trace target" in err
+        assert "odrips" in err  # the error lists the valid targets
+
+    def test_trace_fig2_writes_perfetto_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        code = main([
+            "trace", "fig2", "--cycles", "1",
+            "--out", str(out), "--jsonl", str(jsonl),
+        ])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["traceEvents"]
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+        lines = jsonl.read_text().splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+        stdout = capsys.readouterr().out
+        assert "Energy ledger" in stdout
+        assert "Perfetto" in stdout
+
+
+class TestObservabilityFlags:
+    def test_trace_flag_prints_span_digest_and_uninstalls(self, capsys):
+        from repro.obs.tracer import active
+
+        assert main(["fig2", "--cycles", "1", "--trace", "--cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Spans" in out
+        assert "entry:llc-flush" in out
+        assert "cache: 0 hit(s), 1 miss(es)" in out
+        assert active() is None  # main() must uninstall its tracer
+
+    def test_metrics_flag_prints_counters_only(self, capsys):
+        assert main(["fig2", "--cycles", "1", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "Counters" in out
+        assert "kernel.events:" in out
+        assert "Spans" not in out

@@ -316,3 +316,75 @@ class TestWalker:
 
     def test_empty_view_is_clean(self):
         assert lint_model_view(walk_model(Fixture())) == []
+
+
+class TestFlowSpanDiscipline:
+    """M306: instrumented flow steps must open and close their spans."""
+
+    FLOW = (
+        FlowStepSpec("entry:quiesce"),
+        FlowStepSpec("entry:save"),
+        FlowStepSpec("entry:drips"),
+    )
+
+    def test_uninstrumented_model_owes_no_declaration(self):
+        fixture = Fixture(flow_descriptions=lambda: {"entry": self.FLOW})
+        assert "M306" not in rule_ids(lint_platform(fixture))
+
+    def test_instrumented_without_declaration_flagged(self):
+        fixture = Fixture(
+            obs=None,  # the seam exists; the declaration does not
+            flow_descriptions=lambda: {"entry": self.FLOW},
+        )
+        diags = [d for d in lint_platform(fixture) if d.rule == "M306"]
+        assert len(diags) == 1
+        assert "observability description" in diags[0].message
+        assert "flow_span_labels" in (diags[0].hint or "")
+
+    def test_flow_missing_from_declaration_flagged(self):
+        fixture = Fixture(
+            obs=None,
+            flow_descriptions=lambda: {"entry": self.FLOW},
+            observability_description=lambda: {
+                "flow_span_labels": {"exit": ("exit:wake",)}
+            },
+        )
+        diags = [d for d in lint_platform(fixture) if d.rule == "M306"]
+        assert len(diags) == 1
+        assert "'entry'" in diags[0].message
+
+    def test_label_step_mismatch_flagged(self):
+        labels = ("entry:quiesce", "entry:drips")  # entry:save missing
+        fixture = Fixture(
+            obs=None,
+            flow_descriptions=lambda: {"entry": self.FLOW},
+            observability_description=lambda: {"flow_span_labels": {"entry": labels}},
+        )
+        diags = [d for d in lint_platform(fixture) if d.rule == "M306"]
+        assert len(diags) == 1
+        assert "do not match" in diags[0].message
+
+    def test_duplicate_label_flagged(self):
+        labels = ("entry:quiesce", "entry:quiesce", "entry:drips")
+        fixture = Fixture(
+            obs=None,
+            flow_descriptions=lambda: {"entry": self.FLOW},
+            observability_description=lambda: {"flow_span_labels": {"entry": labels}},
+        )
+        diags = [d for d in lint_platform(fixture) if d.rule == "M306"]
+        assert any("more than once" in d.message for d in diags)
+
+    def test_exact_declaration_is_clean(self):
+        labels = tuple(step.label for step in self.FLOW)
+        fixture = Fixture(
+            obs=None,
+            flow_descriptions=lambda: {"entry": self.FLOW},
+            observability_description=lambda: {"flow_span_labels": {"entry": labels}},
+        )
+        assert lint_platform(fixture) == []
+
+    def test_skylake_declaration_matches_flow_specs(self):
+        from repro.system.flows import ENTRY_FLOW_SPEC, EXIT_FLOW_SPEC, FLOW_SPAN_TABLE
+
+        assert FLOW_SPAN_TABLE["entry"] == tuple(s.label for s in ENTRY_FLOW_SPEC)
+        assert FLOW_SPAN_TABLE["exit"] == tuple(s.label for s in EXIT_FLOW_SPEC)

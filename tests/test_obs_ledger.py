@@ -1,0 +1,203 @@
+"""Energy-ledger and Chrome-trace-export tests against a real traced run.
+
+The acceptance criteria of the observability PR live here: the ledger's
+per-domain totals must sum to the analyzer's average power times the
+window within 1e-9 relative, and ``chrome_trace`` must emit a valid
+trace-event document with a span for every DRIPS entry-flow step the
+configuration actually executes.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.analyzer import PowerAnalyzer
+from repro.obs.export import TRACE_PID, chrome_trace, jsonl_lines, render_summary
+from repro.obs.ledger import EnergyLedger
+from repro.obs.run import TRACE_CONFIGS, run_traced
+from repro.obs.tracer import FLOW_STEP_TRACK, FLOW_TRACK
+from repro.sim.trace import TraceRecorder
+
+#: Entry/exit steps the baseline configuration executes (no AON IO gate,
+#: so no io-handoff/io-restore; the crystal stays on, so no xtal-restart).
+BASELINE_ENTRY_STEPS = {
+    "entry:compute-quiesce",
+    "entry:llc-flush",
+    "entry:context-save",
+    "entry:dram-self-refresh",
+    "entry:clock-shutdown",
+    "entry:drips",
+}
+BASELINE_EXIT_STEPS = {
+    "exit:wake",
+    "exit:context-restore",
+    "exit:vr-ramp",
+    "exit:active",
+}
+
+
+@pytest.fixture(scope="module")
+def fig2_session():
+    """One traced baseline standby run, shared across this module."""
+    return run_traced("fig2", cycles=1)
+
+
+class TestRunTraced:
+    def test_unknown_target_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown trace target"):
+            run_traced("fig99")
+
+    def test_targets_cover_paper_configs(self):
+        assert {"fig2", "baseline", "odrips", "odrips-mram", "odrips-pcm"} <= set(
+            TRACE_CONFIGS
+        )
+
+    def test_session_shape(self, fig2_session):
+        assert fig2_session.experiment == "fig2"
+        assert fig2_session.platform in fig2_session.tracer.platforms
+        assert fig2_session.measurement.average_power_w > 0
+
+    def test_no_leaked_spans(self, fig2_session):
+        assert fig2_session.tracer.open_spans() == []
+
+
+class TestLedgerAccuracy:
+    def test_domain_totals_match_analyzer(self, fig2_session):
+        """Acceptance: sum(domains) == analyzer average x window to 1e-9."""
+        ledger = fig2_session.ledger
+        analyzer = PowerAnalyzer(fig2_session.platform.trace)
+        exact = analyzer.exact_average(ledger.start_ps, ledger.end_ps)
+        assert ledger.average_power_w == pytest.approx(exact, rel=1e-9)
+        assert ledger.total_energy_j == pytest.approx(
+            exact * ledger.window_s, rel=1e-9
+        )
+
+    def test_ledger_matches_reported_measurement(self, fig2_session):
+        assert fig2_session.ledger.average_power_w == pytest.approx(
+            fig2_session.measurement.average_power_w, rel=1e-9
+        )
+
+    def test_every_rail_appears_as_domain(self, fig2_session):
+        trace = fig2_session.platform.trace
+        rails = {
+            channel[len("rail:"):]
+            for channel in trace.channels()
+            if channel.startswith("rail:")
+        }
+        assert set(fig2_session.ledger.domain_energy_j) == rails
+        assert rails  # the platform must expose per-rail channels at all
+
+    def test_domain_average_power(self, fig2_session):
+        ledger = fig2_session.ledger
+        for domain, joules in ledger.domain_energy_j.items():
+            assert ledger.domain_average_power_w(domain) == pytest.approx(
+                joules / ledger.window_s
+            )
+        assert ledger.domain_average_power_w("no-such-domain") == 0.0
+
+    def test_span_attribution_cells_bounded_by_domain_totals(self, fig2_session):
+        ledger = fig2_session.ledger
+        assert ledger.cells, "flow-step spans should produce attribution cells"
+        per_domain_from_cells = {}
+        for cell in ledger.cells:
+            assert cell.energy_joules >= 0.0
+            per_domain_from_cells[cell.domain] = (
+                per_domain_from_cells.get(cell.domain, 0.0) + cell.energy_joules
+            )
+        # Flow steps tile only a sliver of the window, so their attributed
+        # energy must never exceed the domain's whole-window total.
+        for domain, joules in per_domain_from_cells.items():
+            assert joules <= ledger.domain_energy_j[domain] * (1 + 1e-9)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(MeasurementError, match="empty ledger window"):
+            EnergyLedger.from_trace(TraceRecorder(), 10, 10)
+
+    def test_trace_without_rails_rejected(self):
+        trace = TraceRecorder()
+        trace.record(0, "platform", 1.0)
+        with pytest.raises(MeasurementError, match="no rail channels"):
+            EnergyLedger.from_trace(trace, 0, 100)
+
+
+class TestChromeTraceExport:
+    @pytest.fixture(scope="class")
+    def document(self, fig2_session):
+        raw = chrome_trace(
+            fig2_session.tracer,
+            platform=fig2_session.platform,
+            end_ps=fig2_session.ledger.end_ps,
+        )
+        # Round-trip through JSON: the document must serialize cleanly.
+        return json.loads(json.dumps(raw))
+
+    def test_top_level_schema(self, document):
+        assert set(document) >= {"traceEvents", "displayTimeUnit", "otherData"}
+        assert isinstance(document["traceEvents"], list)
+        assert document["otherData"]["clock"] == "simulated"
+
+    def test_every_event_well_formed(self, document):
+        for event in document["traceEvents"]:
+            assert event["pid"] == TRACE_PID
+            assert event["ph"] in {"M", "X", "B", "i", "C"}
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+            if event["ph"] != "M":
+                assert event["ts"] >= 0.0
+
+    def test_thread_name_metadata_present(self, document):
+        named = {
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert {FLOW_STEP_TRACK, FLOW_TRACK, "state"} <= named
+
+    def test_span_for_every_executed_entry_step(self, document):
+        complete = {
+            event["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "X" and event.get("cat") == FLOW_STEP_TRACK
+        }
+        assert BASELINE_ENTRY_STEPS <= complete
+        assert BASELINE_EXIT_STEPS <= complete
+
+    def test_power_counters_exported(self, document):
+        counters = {
+            event["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "C"
+        }
+        assert "platform" in counters
+        assert any(name.startswith("rail:") for name in counters)
+
+    def test_events_sorted_by_timestamp(self, document):
+        stamps = [
+            event["ts"] for event in document["traceEvents"] if event["ph"] != "M"
+        ]
+        assert stamps == sorted(stamps)
+
+
+class TestOtherExporters:
+    def test_jsonl_lines_parse_and_cover_record_types(self, fig2_session):
+        records = [json.loads(line) for line in jsonl_lines(fig2_session.tracer)]
+        kinds = {record["type"] for record in records}
+        assert {"span", "instant", "counter", "histogram"} <= kinds
+        spans = [r for r in records if r["type"] == "span"]
+        assert all(r["duration_ps"] is not None for r in spans)
+
+    def test_render_summary_sections(self, fig2_session):
+        text = render_summary(fig2_session.tracer, ledger=fig2_session.ledger)
+        assert "Spans" in text
+        assert "Counters" in text
+        assert "Energy ledger" in text
+        assert "TOTAL" in text
+        assert "LEAKED" not in text  # the run closed every span
+
+    def test_metrics_only_summary_hides_spans(self, fig2_session):
+        text = render_summary(fig2_session.tracer, include_spans=False)
+        assert "Counters" in text
+        assert "Spans" not in text
