@@ -203,25 +203,56 @@ def test_tracer_overhead_on_fig2(benchmark, emit):
          f"{enabled_s:.2f} s ({overhead:+.1%} when tracing)")
 
 
+#: Parallel fig6b sweep must actually beat the serial run.  At 2 points
+#: worker startup ate the win (parallel 3.10 s vs serial 3.02 s); 6
+#: points amortize the pool spin-up, and this floor keeps the benchmark
+#: honest about it wherever real parallelism exists.
+MIN_PARALLEL_SWEEP_SPEEDUP = 1.2
+
+#: Enough sweep points that the process pool pays for itself.
+PARALLEL_SWEEP_FREQS = (0.8, 0.9, 1.0, 1.1, 1.2, 1.5)
+
+
 def test_parallel_sweep_matches_serial(benchmark, emit):
-    """fig6b with parallel=True: identical rows, worker-process path."""
+    """fig6b with parallel=True: identical rows, and actually faster.
+
+    The speedup floor only applies where the host can parallelize at
+    all: on a single-CPU machine worker processes time-slice one core
+    and parallel can never beat serial, so the figure is recorded with a
+    ``policy_skip`` marker the regression watchdog honors instead of
+    flagging drift.
+    """
+    import os
+
     t0 = time.perf_counter()
-    serial = fig6b_core_frequency(cycles=1, frequencies_ghz=(0.8, 1.5))
+    serial = fig6b_core_frequency(cycles=1, frequencies_ghz=PARALLEL_SWEEP_FREQS)
     serial_s = time.perf_counter() - t0
 
     parallel = run_once(
         benchmark, fig6b_core_frequency,
-        cycles=1, frequencies_ghz=(0.8, 1.5), parallel=True,
+        cycles=1, frequencies_ghz=PARALLEL_SWEEP_FREQS, parallel=True,
     )
     parallel_s = min(benchmark.stats.stats.data)
 
     assert [(r.parameter, r.average_power_mw) for r in serial] == [
         (r.parameter, r.average_power_mw) for r in parallel
     ]
+    speedup = serial_s / parallel_s
+    cpu_count = os.cpu_count() or 1
     _results["parallel_sweep_fig6b"] = {
         "wall_s": parallel_s,
         "serial_wall_s": serial_s,
+        "speedup": speedup,
         "points": len(serial),
+        "cpu_count": cpu_count,
     }
+    if cpu_count >= 2:
+        assert speedup >= MIN_PARALLEL_SWEEP_SPEEDUP
+    else:
+        _results["parallel_sweep_fig6b"]["policy_skip"] = (
+            "single-CPU host: worker processes time-slice one core, so the "
+            "speedup floor does not apply"
+        )
     emit(f"fig6b sweep: serial {serial_s:.2f} s, parallel {parallel_s:.2f} s "
-         f"({len(serial)} points, identical rows)")
+         f"({speedup:.2f}x, {len(serial)} points on {cpu_count} CPU(s), "
+         "identical rows)")

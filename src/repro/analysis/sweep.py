@@ -14,6 +14,7 @@ import os
 from typing import Callable, Iterable, List, Optional, Tuple, TypeVar
 
 from repro.errors import AnalysisError
+from repro.obs.runlog import active_recorder, host_wall_s
 
 Value = TypeVar("Value")
 
@@ -21,6 +22,26 @@ Value = TypeVar("Value")
 #: normalizing sweep results (no exact float equality on measured
 #: quantities — the S403 discipline).
 ZERO_REFERENCE_TOLERANCE = 1e-12
+
+
+class _TimedCall:
+    """Picklable wrapper timing one sweep point inside a worker process.
+
+    Used only while a flight recorder is installed: the wrapper rides
+    the same pickle channel as ``experiment`` itself, and each worker
+    reports ``(result, wall_s, pid)`` so the parent can attribute
+    per-point host time and worker fan-out to the run record.
+    """
+
+    __slots__ = ("experiment",)
+
+    def __init__(self, experiment: Callable[[Value], float]) -> None:
+        self.experiment = experiment
+
+    def __call__(self, value: Value) -> Tuple[float, float, int]:
+        start_s = host_wall_s()
+        result = self.experiment(value)
+        return result, host_wall_s() - start_s, os.getpid()
 
 
 def sweep(
@@ -37,16 +58,47 @@ def sweep(
     ``experiment`` callable and the parameter values must be picklable —
     a module-level function or a :func:`functools.partial` of one, not a
     lambda or closure.
+
+    When a flight recorder is installed
+    (:func:`repro.obs.runlog.active_recorder`) the sweep contributes its
+    fan-out shape — point count, parallelism, per-point wall times, and
+    the worker process ids that served them — to the enclosing run
+    record.
     """
     values = list(parameter_values)
+    recorder = active_recorder()
+    start_s = host_wall_s() if recorder is not None else 0.0
     if not parallel or len(values) <= 1:
-        return [(value, experiment(value)) for value in values]
+        if recorder is None:
+            return [(value, experiment(value)) for value in values]
+        timed = _TimedCall(experiment)
+        outcomes = [timed(value) for value in values]
+        recorder.sweep(
+            points=len(values),
+            parallel=False,
+            workers=None,
+            wall_s=host_wall_s() - start_s,
+            point_walls_s=[wall_s for _, wall_s, _ in outcomes],
+            worker_pids=[pid for _, _, pid in outcomes],
+        )
+        return [(value, result) for value, (result, _, _) in zip(values, outcomes)]
     from concurrent.futures import ProcessPoolExecutor
 
     workers = max_workers if max_workers is not None else min(len(values), os.cpu_count() or 1)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        results = list(pool.map(experiment, values))
-    return list(zip(values, results))
+        if recorder is None:
+            results = list(pool.map(experiment, values))
+            return list(zip(values, results))
+        outcomes = list(pool.map(_TimedCall(experiment), values))
+    recorder.sweep(
+        points=len(values),
+        parallel=True,
+        workers=workers,
+        wall_s=host_wall_s() - start_s,
+        point_walls_s=[wall_s for _, wall_s, _ in outcomes],
+        worker_pids=[pid for _, _, pid in outcomes],
+    )
+    return [(value, result) for value, (result, _, _) in zip(values, outcomes)]
 
 
 def relative_to_first(points: List[Tuple[Value, float]]) -> List[Tuple[Value, float]]:

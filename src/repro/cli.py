@@ -15,6 +15,13 @@ Examples::
     python -m repro trace fig2 --out trace.json   # Perfetto-loadable trace
     python -m repro fig2 --trace   # run instrumented, print the span digest
     python -m repro fig6a --cache  # memoized runs + hit/miss stats
+    python -m repro fig2 --profile # host-phase wall time + peak allocations
+    python -m repro report --json  # regression watchdog over the run history
+
+Every experiment run is recorded by the flight recorder to
+``.repro/runs/runs.jsonl`` (opt out with ``--no-runlog``); ``report``
+replays that history against the paper's golden values and the
+``BENCH_perf.json`` policies, exiting nonzero on drift.
 """
 
 from __future__ import annotations
@@ -269,12 +276,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Run both static-analysis passes; exit non-zero on any finding.
+    """Run every static-analysis pass; exit non-zero on any finding.
 
     The model verifier runs on the shipped Skylake platform in its two
     extreme configurations (baseline DRIPS and full ODRIPS, which differ
-    in the components they instantiate); the source checker runs on the
-    installed ``repro`` sources unless ``--path`` overrides them.
+    in the components they instantiate); the experiment-registry check
+    (M307) verifies golden-value coverage; the source checker runs on
+    the installed ``repro`` sources unless ``--path`` overrides them.
     """
     from repro import lint as lint_mod
     from repro.errors import ConfigError
@@ -291,6 +299,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     diagnostics = []
     for techniques in (TechniqueSet.baseline(), TechniqueSet.odrips()):
         diagnostics.extend(lint_mod.lint_platform(SkylakePlatform(techniques=techniques)))
+    diagnostics.extend(lint_mod.lint_experiments())
     paths = args.path or [_default_lint_root()]
     missing = [path for path in paths if not os.path.exists(path)]
     if missing:
@@ -338,9 +347,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all", "lint", "trace"],
+        choices=sorted(COMMANDS) + ["all", "lint", "report", "trace"],
         help="which paper experiment to run ('lint' for static analysis, "
-             "'trace' for an observed run with Perfetto export)",
+             "'trace' for an observed run with Perfetto export, 'report' "
+             "for the golden-number regression watchdog)",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -372,6 +382,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", action="store_true",
         help="memoize simulation runs and report cache hit/miss stats",
     )
+    obs_group.add_argument(
+        "--profile", action="store_true",
+        help="attribute host wall time and peak allocations to "
+             "build/simulate/measure/analyze phases",
+    )
+    obs_group.add_argument(
+        "--no-runlog", action="store_true",
+        help="do not record this run to the .repro/runs flight recorder",
+    )
     parser.add_argument(
         "--break-even", action="store_true",
         help="fig6a: also compute the residency break-even points (slower)",
@@ -397,6 +416,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--path", action="append", default=[], metavar="PATH",
         help="lint: source files/directories to check (default: the repro package)",
     )
+    report_group = parser.add_argument_group("report options")
+    report_group.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="report: JSON file overriding golden values / bench policies",
+    )
+    report_group.add_argument(
+        "--bench", metavar="FILE", default=None,
+        help="report: benchmark figures to check (default BENCH_perf.json)",
+    )
+    report_group.add_argument(
+        "--html", metavar="FILE", default=None,
+        help="report: also write a static HTML report",
+    )
     return parser
 
 
@@ -404,6 +436,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "lint":
         return cmd_lint(args)
+    if args.experiment == "report":
+        from repro.regress.report import cmd_report
+
+        return cmd_report(args)
     if args.experiment == "trace":
         return cmd_trace(args)
 
@@ -418,15 +454,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro import obs
 
         tracer = obs.install()
+    profiler = None
+    if args.profile:
+        from repro.obs.profile import PhaseProfiler, install_profiler
+
+        profiler = install_profiler(PhaseProfiler(track_allocations=True))
+    recorder = None
+    if not args.no_runlog:
+        from repro.obs.runlog import install_recorder
+
+        recorder = install_recorder()
     try:
+        from repro.obs.profile import host_phase
+
         if args.experiment == "all":
             for name in ["table1", "fig1b", "fig2", "fig6a", "fig6b", "fig6c",
                          "fig6d", "latency", "calibration", "ablations"]:
-                COMMANDS[name](args)
+                with host_phase("analyze"):
+                    COMMANDS[name](args)
                 print()
         else:
-            COMMANDS[args.experiment](args)
+            with host_phase("analyze"):
+                COMMANDS[args.experiment](args)
     finally:
+        if recorder is not None:
+            from repro.obs.runlog import uninstall_recorder
+
+            uninstall_recorder()
+        if profiler is not None:
+            from repro.obs.profile import uninstall_profiler
+
+            uninstall_profiler()
         if tracer is not None:
             from repro import obs
 
@@ -435,13 +493,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro import obs
 
         print()
-        print(obs.render_summary(tracer, include_spans=args.trace))
+        print(obs.render_summary(tracer, include_spans=args.trace,
+                                 profiler=profiler))
+    elif profiler is not None:
+        from repro.obs.export import render_profile
+
+        print()
+        print(render_profile(profiler))
     if args.cache_obj is not None:
         stats = args.cache_obj.stats
         print()
         print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es), "
               f"{stats.hit_rate:.0%} hit rate over {stats.lookups} lookup(s)")
+    if recorder is not None:
+        _persist_runlog(recorder, args.experiment)
     return 0
+
+
+def _persist_runlog(recorder, command: str) -> None:
+    """Append this invocation's run records to the flight-recorder store.
+
+    Persistence failures warn instead of failing the run: the experiment
+    output already printed, and a read-only checkout must stay usable.
+    """
+    from repro.obs.runlog import RunLog
+
+    recorder.finish(command)
+    if not recorder.records:
+        return
+    try:
+        RunLog().append_all(recorder.records)
+    except OSError as error:
+        print(f"warning: flight recorder could not append run records: {error}",
+              file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

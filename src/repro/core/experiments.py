@@ -20,9 +20,11 @@ Index (see DESIGN.md for the full mapping):
 
 from __future__ import annotations
 
+import functools
+import inspect
 from dataclasses import dataclass, field
 from functools import partial
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.config import (
     PlatformConfig,
@@ -34,6 +36,8 @@ from repro.core.techniques import TechniqueSet
 from repro.analysis.breakdown import fig1b_shares
 from repro.analysis.breakeven import find_break_even
 from repro.analysis.sweep import sweep
+from repro.obs.runlog import active_recorder, host_wall_s
+from repro.perf.fingerprint import fingerprint
 from repro.timers.calibration import (
     fractional_bits_for_precision,
     integer_bits_for_ratio,
@@ -42,6 +46,176 @@ from repro.timers.calibration import (
 
 if TYPE_CHECKING:
     from repro.perf.cache import SimulationCache
+
+
+# ---------------------------------------------------------------------------
+# Experiment registry and golden values
+# ---------------------------------------------------------------------------
+
+#: Golden-value comparison kinds understood by :meth:`GoldenValue.evaluate`
+#: and the regression watchdog (:mod:`repro.regress`).
+GOLDEN_KINDS = ("absolute", "relative", "ceiling", "floor")
+
+
+@dataclass(frozen=True)
+class GoldenValue:
+    """One paper-published figure the watchdog holds a driver to.
+
+    ``kind`` selects the tolerance policy:
+
+    * ``absolute`` — ``|measured - paper| <= tolerance``;
+    * ``relative`` — ``|measured - paper| <= tolerance * |paper|``;
+    * ``ceiling`` — ``measured <= paper + tolerance``;
+    * ``floor``   — ``measured >= paper - tolerance``.
+    """
+
+    key: str
+    paper: float
+    tolerance: float
+    kind: str = "absolute"
+
+    def within(self, measured: float) -> bool:
+        if self.kind == "relative":
+            return abs(measured - self.paper) <= self.tolerance * abs(self.paper)
+        if self.kind == "ceiling":
+            return measured <= self.paper + self.tolerance
+        if self.kind == "floor":
+            return measured >= self.paper - self.tolerance
+        return abs(measured - self.paper) <= self.tolerance
+
+    def evaluate(self, measured: Optional[float]) -> Dict[str, Any]:
+        """JSON-able verdict: paper value, delta, and pass/fail."""
+        verdict: Dict[str, Any] = {
+            "paper": self.paper,
+            "tolerance": self.tolerance,
+            "kind": self.kind,
+            "measured": measured,
+        }
+        if measured is None:
+            verdict["delta"] = None
+            verdict["within"] = None
+        else:
+            verdict["delta"] = measured - self.paper
+            verdict["within"] = self.within(measured)
+        return verdict
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry for one experiment driver.
+
+    ``metric_keys`` is the static declaration of the flat metric names
+    the driver's ``metrics`` extractor produces under its *default*
+    configuration; lint rule M307 verifies every golden key is declared
+    there, so a driver cannot silently opt out of fidelity checking.
+    ``golden_exempt`` carries a human-readable reason for the rare driver
+    with nothing to compare (static parameter tables).
+    """
+
+    name: str
+    runner: Callable[..., Any]
+    metric_keys: Tuple[str, ...]
+    metrics: Callable[[Any], Dict[str, float]]
+    goldens: Tuple[GoldenValue, ...] = ()
+    golden_exempt: str = ""
+
+    def config_fingerprint(self, *args: Any, **kwargs: Any) -> str:
+        """SHA-256 fingerprint of the driver's resolved arguments.
+
+        Cache handles are excluded — a memoized run of a configuration is
+        the *same* run — so records made with and without ``--cache``
+        share a fingerprint.
+        """
+        bound = inspect.signature(self.runner).bind(*args, **kwargs)
+        bound.apply_defaults()
+        arguments = {
+            key: value for key, value in bound.arguments.items() if key != "cache"
+        }
+        return fingerprint(self.name, arguments)
+
+    def evaluate_goldens(self, metrics: Dict[str, float]) -> Dict[str, Dict[str, Any]]:
+        return {
+            golden.key: golden.evaluate(metrics.get(golden.key))
+            for golden in self.goldens
+        }
+
+
+#: Every registered experiment driver, keyed by its CLI/report name.
+EXPERIMENTS: Dict[str, ExperimentSpec] = {}
+
+
+def experiment_driver(
+    name: str,
+    metric_keys: Tuple[str, ...],
+    metrics: Callable[[Any], Dict[str, float]],
+    goldens: Tuple[GoldenValue, ...] = (),
+    golden_exempt: str = "",
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a driver and wire it to the experiment flight recorder.
+
+    With a :class:`~repro.obs.runlog.RunRecorder` installed, each call
+    of the driver contributes one run record — config fingerprint, host
+    wall time, extracted metrics, golden-value verdicts, cache stats and
+    any pending measurement/sweep sub-events.  With no recorder
+    installed the wrapper is a single ``None`` check.
+    """
+
+    def wrap(fn: Callable[..., Any]) -> Callable[..., Any]:
+        spec = ExperimentSpec(
+            name=name,
+            runner=fn,
+            metric_keys=tuple(metric_keys),
+            metrics=metrics,
+            goldens=tuple(goldens),
+            golden_exempt=golden_exempt,
+        )
+        EXPERIMENTS[name] = spec
+
+        @functools.wraps(fn)
+        def recorded(*args: Any, **kwargs: Any) -> Any:
+            recorder = active_recorder()
+            if recorder is None:
+                return fn(*args, **kwargs)
+            started_s = host_wall_s()
+            result = fn(*args, **kwargs)
+            wall_s = host_wall_s() - started_s
+            values = spec.metrics(result)
+            cache = kwargs.get("cache")
+            cache_stats = None
+            if cache is not None:
+                cache_stats = {"hits": cache.stats.hits, "misses": cache.stats.misses}
+            context = _scalar_context(spec, args, kwargs)
+            recorder.experiment(
+                name=name,
+                fingerprint=spec.config_fingerprint(*args, **kwargs),
+                wall_s=wall_s,
+                metrics=values,
+                goldens=spec.evaluate_goldens(values),
+                context=context,
+                cache_stats=cache_stats,
+            )
+            return result
+
+        recorded.spec = spec  # introspection hook (lint, tests)
+        return recorded
+
+    return wrap
+
+
+def _scalar_context(
+    spec: ExperimentSpec, args: Tuple[Any, ...], kwargs: Dict[str, Any]
+) -> Dict[str, Any]:
+    """The scalar driver arguments, for humans reading the run log."""
+    try:
+        bound = inspect.signature(spec.runner).bind(*args, **kwargs)
+    except TypeError:  # the driver itself will raise; record nothing
+        return {}
+    bound.apply_defaults()
+    return {
+        key: value
+        for key, value in bound.arguments.items()
+        if isinstance(value, (bool, int, float, str)) or value is None
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -80,6 +254,31 @@ class Fig1bResult:
         )
 
 
+def _fig1b_metrics(result: "Fig1bResult") -> Dict[str, float]:
+    return {
+        "platform_drips_mw": result.platform_drips_mw,
+        "wakeup_and_crystal": result.wakeup_and_crystal,
+        "aon_ios": result.shares.get("aon_ios", 0.0),
+        "sr_srams": result.shares.get("sr_srams", 0.0),
+        "processor_total": result.processor_total,
+    }
+
+
+@experiment_driver(
+    "fig1b",
+    metric_keys=(
+        "platform_drips_mw", "wakeup_and_crystal", "aon_ios", "sr_srams",
+        "processor_total",
+    ),
+    metrics=_fig1b_metrics,
+    goldens=(
+        GoldenValue("platform_drips_mw", 60.0, 1.0),
+        GoldenValue("wakeup_and_crystal", 0.05, 0.015),
+        GoldenValue("aon_ios", 0.07, 0.015),
+        GoldenValue("sr_srams", 0.09, 0.015),
+        GoldenValue("processor_total", 0.18, 0.015),
+    ),
+)
 def fig1b_breakdown(config: Optional[PlatformConfig] = None) -> Fig1bResult:
     """Reproduce the DRIPS power breakdown of Fig. 1(b)."""
     cfg = config if config is not None else skylake_config()
@@ -106,6 +305,28 @@ class Fig2Result:
     paper_drips_residency: float = 0.995
 
 
+def _fig2_metrics(result: "Fig2Result") -> Dict[str, float]:
+    return {
+        "average_power_mw": result.average_power_mw,
+        "drips_power_mw": result.drips_power_mw,
+        "active_power_w": result.active_power_w,
+        "drips_residency": result.drips_residency,
+    }
+
+
+@experiment_driver(
+    "fig2",
+    metric_keys=(
+        "average_power_mw", "drips_power_mw", "active_power_w", "drips_residency",
+    ),
+    metrics=_fig2_metrics,
+    goldens=(
+        GoldenValue("drips_power_mw", 60.0, 1.5),
+        GoldenValue("active_power_w", 3.0, 0.25),
+        GoldenValue("drips_residency", 0.995, 0.003),
+        GoldenValue("average_power_mw", 75.0, 5.0),
+    ),
+)
 def fig2_connected_standby(
     config: Optional[PlatformConfig] = None,
     cycles: int = 2,
@@ -163,6 +384,27 @@ class Fig6aResult:
     rows: List[Fig6aRow]
 
 
+def _fig6a_metrics(result: "Fig6aResult") -> Dict[str, float]:
+    values: Dict[str, float] = {"baseline_mw": result.baseline_mw}
+    for row in result.rows:
+        values[f"saving:{row.label}"] = row.saving
+    return values
+
+
+@experiment_driver(
+    "fig6a",
+    metric_keys=(
+        "baseline_mw", "saving:WAKE-UP-OFF", "saving:AON-IO-GATE",
+        "saving:CTX-SGX-DRAM", "saving:ODRIPS",
+    ),
+    metrics=_fig6a_metrics,
+    goldens=(
+        GoldenValue("saving:WAKE-UP-OFF", 0.06, 0.02),
+        GoldenValue("saving:AON-IO-GATE", 0.13, 0.02),
+        GoldenValue("saving:CTX-SGX-DRAM", 0.08, 0.02),
+        GoldenValue("saving:ODRIPS", 0.22, 0.02),
+    ),
+)
 def fig6a_techniques(
     config: Optional[PlatformConfig] = None,
     cycles: int = 2,
@@ -260,6 +502,26 @@ def _sweep_rows(
     ]
 
 
+def _fig6b_metrics(rows: List["SweepRow"]) -> Dict[str, float]:
+    values: Dict[str, float] = {}
+    for row in rows:
+        values[f"power_mw:{row.parameter:.1f}GHz"] = row.average_power_mw
+        values[f"delta:{row.parameter:.1f}GHz"] = row.delta_vs_reference
+    return values
+
+
+@experiment_driver(
+    "fig6b",
+    metric_keys=(
+        "power_mw:0.8GHz", "delta:0.8GHz", "power_mw:1.0GHz", "delta:1.0GHz",
+        "power_mw:1.5GHz", "delta:1.5GHz",
+    ),
+    metrics=_fig6b_metrics,
+    goldens=(
+        GoldenValue("delta:1.0GHz", -0.014, 0.015),
+        GoldenValue("delta:1.5GHz", 0.01, 0.015),
+    ),
+)
 def fig6b_core_frequency(
     config: Optional[PlatformConfig] = None,
     frequencies_ghz: Tuple[float, ...] = (0.8, 1.0, 1.5),
@@ -280,6 +542,26 @@ def fig6b_core_frequency(
     return _sweep_rows(points, FIG6B_PAPER)
 
 
+def _fig6c_metrics(rows: List["SweepRow"]) -> Dict[str, float]:
+    values: Dict[str, float] = {}
+    for row in rows:
+        values[f"power_mw:{row.parameter / 1e9:.3f}GHz"] = row.average_power_mw
+        values[f"delta:{row.parameter / 1e9:.3f}GHz"] = row.delta_vs_reference
+    return values
+
+
+@experiment_driver(
+    "fig6c",
+    metric_keys=(
+        "power_mw:1.600GHz", "delta:1.600GHz", "power_mw:1.067GHz",
+        "delta:1.067GHz", "power_mw:0.800GHz", "delta:0.800GHz",
+    ),
+    metrics=_fig6c_metrics,
+    goldens=(
+        GoldenValue("delta:1.067GHz", -0.003, 0.008),
+        GoldenValue("delta:0.800GHz", -0.007, 0.008),
+    ),
+)
 def fig6c_dram_frequency(
     config: Optional[PlatformConfig] = None,
     rates_hz: Tuple[float, ...] = (1.6e9, 1.067e9, 0.8e9),
@@ -315,6 +597,27 @@ class Fig6dRow:
     break_even_ms: Optional[float]
 
 
+def _fig6d_metrics(rows: List["Fig6dRow"]) -> Dict[str, float]:
+    values: Dict[str, float] = {}
+    for row in rows:
+        values[f"power_mw:{row.label}"] = row.average_power_mw
+        values[f"saving:{row.label}"] = row.saving_vs_baseline
+    return values
+
+
+@experiment_driver(
+    "fig6d",
+    metric_keys=(
+        "power_mw:ODRIPS", "saving:ODRIPS", "power_mw:ODRIPS-MRAM",
+        "saving:ODRIPS-MRAM", "power_mw:ODRIPS-PCM", "saving:ODRIPS-PCM",
+    ),
+    metrics=_fig6d_metrics,
+    goldens=(
+        GoldenValue("saving:ODRIPS", 0.22, 0.025),
+        GoldenValue("saving:ODRIPS-MRAM", 0.225, 0.03),
+        GoldenValue("saving:ODRIPS-PCM", 0.37, 0.03),
+    ),
+)
 def fig6d_emerging_memories(
     config: Optional[PlatformConfig] = None,
     cycles: int = 2,
@@ -368,6 +671,23 @@ class ContextLatencyResult:
     sgx_region_fraction: float = 0.0
 
 
+def _latency_metrics(result: "ContextLatencyResult") -> Dict[str, float]:
+    return {
+        "save_us": result.save_us,
+        "restore_us": result.restore_us,
+        "context_bytes": float(result.context_bytes),
+    }
+
+
+@experiment_driver(
+    "latency",
+    metric_keys=("save_us", "restore_us", "context_bytes"),
+    metrics=_latency_metrics,
+    goldens=(
+        GoldenValue("save_us", 18.0, 0.3, kind="relative"),
+        GoldenValue("restore_us", 13.0, 0.4, kind="relative"),
+    ),
+)
 def sec63_context_latency(config: Optional[PlatformConfig] = None) -> ContextLatencyResult:
     """Measure the 200 KB context save/restore latency through the MEE."""
     controller = ODRIPSController(TechniqueSet.ctx_sgx_dram_only(), config=config)
@@ -400,6 +720,24 @@ class CalibrationSizingResult:
     paper_fractional_bits: int = 21
 
 
+def _calibration_metrics(result: "CalibrationSizingResult") -> Dict[str, float]:
+    return {
+        "integer_bits": float(result.integer_bits),
+        "fractional_bits": float(result.fractional_bits),
+        "worst_case_drift_ppb": result.worst_case_drift_ppb,
+    }
+
+
+@experiment_driver(
+    "calibration",
+    metric_keys=("integer_bits", "fractional_bits", "worst_case_drift_ppb"),
+    metrics=_calibration_metrics,
+    goldens=(
+        GoldenValue("integer_bits", 10.0, 0.0),
+        GoldenValue("fractional_bits", 21.0, 0.0),
+        GoldenValue("worst_case_drift_ppb", 1.0, 0.0, kind="ceiling"),
+    ),
+)
 def sec413_calibration(config: Optional[PlatformConfig] = None) -> CalibrationSizingResult:
     """Equations 2-4: the Step register needs m=10, f=21 for 1 ppb."""
     cfg = config if config is not None else skylake_config()
@@ -419,6 +757,16 @@ def sec413_calibration(config: Optional[PlatformConfig] = None) -> CalibrationSi
 # ---------------------------------------------------------------------------
 
 
+def _table1_metrics(result: Dict[str, Tuple[str, str]]) -> Dict[str, float]:
+    return {}
+
+
+@experiment_driver(
+    "table1",
+    metric_keys=(),
+    metrics=_table1_metrics,
+    golden_exempt="static configuration table (no measured quantities)",
+)
 def table1_parameters() -> Dict[str, Tuple[str, str]]:
     """The system parameters of Table 1 (from the configurations)."""
     return table1_rows()

@@ -21,6 +21,8 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.config import PlatformConfig, StandbyWorkloadConfig, skylake_config
 from repro.core.techniques import TechniqueSet
+from repro.obs.profile import host_phase
+from repro.obs.runlog import active_recorder, host_wall_s
 from repro.system.skylake import SkylakePlatform
 from repro.workloads.standby import ConnectedStandbyRunner, StandbyResult
 
@@ -105,44 +107,40 @@ class ODRIPSController:
 
         With a :attr:`cache` configured, identical configurations return
         the memoized :class:`StandbyMeasurement` without re-simulating.
+
+        When a flight recorder is installed
+        (:func:`repro.obs.runlog.active_recorder`) the measurement's host
+        wall time and cache-hit status are contributed to the run record.
         """
+        recorder = active_recorder()
+        start_s = host_wall_s() if recorder is not None else 0.0
+        arguments = {
+            "cycles": cycles,
+            "idle_interval_s": idle_interval_s,
+            "maintenance_s": maintenance_s,
+            "core_freq_ghz": core_freq_ghz,
+            "dram_rate_hz": dram_rate_hz,
+            "external_wakes": external_wakes,
+            "period_s": period_s,
+        }
+        cached = False
         if self.cache is not None:
             key = self.cache.key(
                 "ODRIPSController.measure",
                 self.config,
                 self.techniques,
                 self.workload,
-                {
-                    "cycles": cycles,
-                    "idle_interval_s": idle_interval_s,
-                    "maintenance_s": maintenance_s,
-                    "core_freq_ghz": core_freq_ghz,
-                    "dram_rate_hz": dram_rate_hz,
-                    "external_wakes": external_wakes,
-                    "period_s": period_s,
-                },
+                arguments,
             )
-            return self.cache.get_or_run(
-                key,
-                lambda: self._measure_uncached(
-                    cycles=cycles,
-                    idle_interval_s=idle_interval_s,
-                    maintenance_s=maintenance_s,
-                    core_freq_ghz=core_freq_ghz,
-                    dram_rate_hz=dram_rate_hz,
-                    external_wakes=external_wakes,
-                    period_s=period_s,
-                ),
+            cached = key in self.cache
+            result = self.cache.get_or_run(
+                key, lambda: self._measure_uncached(**arguments)
             )
-        return self._measure_uncached(
-            cycles=cycles,
-            idle_interval_s=idle_interval_s,
-            maintenance_s=maintenance_s,
-            core_freq_ghz=core_freq_ghz,
-            dram_rate_hz=dram_rate_hz,
-            external_wakes=external_wakes,
-            period_s=period_s,
-        )
+        else:
+            result = self._measure_uncached(**arguments)
+        if recorder is not None:
+            recorder.measurement(result.label, host_wall_s() - start_s, cached)
+        return result
 
     def _measure_uncached(
         self,
@@ -154,20 +152,22 @@ class ODRIPSController:
         external_wakes: bool = False,
         period_s: Optional[float] = None,
     ) -> StandbyMeasurement:
-        platform = self.build_platform()
-        if core_freq_ghz is not None:
-            platform.set_core_frequency(core_freq_ghz)
-        if dram_rate_hz is not None:
-            platform.set_dram_frequency(dram_rate_hz)
-        runner = ConnectedStandbyRunner(
-            platform,
-            workload=self.workload,
-            idle_interval_s=idle_interval_s,
-            maintenance_s=maintenance_s,
-            external_wakes=external_wakes,
-            period_s=period_s,
-        )
-        result = runner.run(cycles=cycles)
+        with host_phase("build"):
+            platform = self.build_platform()
+            if core_freq_ghz is not None:
+                platform.set_core_frequency(core_freq_ghz)
+            if dram_rate_hz is not None:
+                platform.set_dram_frequency(dram_rate_hz)
+            runner = ConnectedStandbyRunner(
+                platform,
+                workload=self.workload,
+                idle_interval_s=idle_interval_s,
+                maintenance_s=maintenance_s,
+                external_wakes=external_wakes,
+                period_s=period_s,
+            )
+        with host_phase("simulate"):
+            result = runner.run(cycles=cycles)
         return StandbyMeasurement.from_result(self.techniques.label(), result)
 
     def measure_raw(

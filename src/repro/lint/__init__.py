@@ -11,6 +11,11 @@ physically and the simulator only enforces by convention:
   with the stdlib ``ast`` module and enforces the canonical-unit
   discipline of :mod:`repro.units` (``S4xx`` rules).
 
+A third, narrow pass (:func:`lint_experiments`, rule ``M307``) checks
+the experiment-driver registry: every driver must declare the golden
+values the regression watchdog compares, so new experiments cannot
+silently opt out of fidelity checking.
+
 Run both from the shell with ``python -m repro lint`` (see docs/LINT.md
 for the rule catalog), or call them directly::
 
@@ -38,6 +43,7 @@ from repro.lint.diagnostics import (
     validate_rule_patterns,
 )
 from repro.lint.model import ModelView, lint_model_view, lint_platform, walk_model
+from repro.lint.rules_experiments import M307_NAME, M307_RULE, lint_experiments
 from repro.lint.source import lint_file, lint_paths, lint_source_text
 
 
@@ -47,6 +53,7 @@ def all_rules():
     from repro.lint.rules_source import SOURCE_RULES
 
     pairs = [(rule.rule_id, rule.name) for rule in MODEL_RULES]
+    pairs.append((M307_RULE, M307_NAME))
     pairs.extend((rule.rule_id, rule.name) for rule in SOURCE_RULES)
     return pairs
 
@@ -64,6 +71,7 @@ __all__ = [
     "dedupe_diagnostics",
     "exit_code",
     "filter_diagnostics",
+    "lint_experiments",
     "lint_file",
     "lint_model_view",
     "lint_paths",

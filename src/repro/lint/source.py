@@ -4,14 +4,27 @@ Parses each Python file with the stdlib :mod:`ast` module and runs the
 ``S4xx`` rule catalog of :mod:`repro.lint.rules_source` over it.  No code
 is imported or executed; the checker is safe to run on broken trees and
 reports syntax errors as diagnostics instead of raising.
+
+A finding can be suppressed at its line with an explicit pragma naming
+the rule::
+
+    t0 = time.perf_counter()  # lint: allow(S401) host-phase profiler
+
+The pragma is deliberately per-line and per-rule: a file cannot opt out
+of a rule wholesale, and an unrelated finding on the same line still
+fires.  The canonical use is host-side instrumentation (the
+:mod:`repro.obs.profile` phase profiler, the :mod:`repro.obs.runlog`
+flight recorder), which measures *host* wall time by design — exactly
+what S401 exists to keep out of simulation code.
 """
 
 from __future__ import annotations
 
 import ast
 import os
+import re
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Dict, Iterable, Iterator, List, Set, Union
 
 from repro.lint.diagnostics import Diagnostic, Location, Severity, sort_diagnostics
 
@@ -50,17 +63,46 @@ def _syntax_diagnostic(filename: str, error: SyntaxError) -> Diagnostic:
     )
 
 
+#: ``# lint: allow(S401)`` / ``# lint: allow(S401, S403)`` pragma.
+_ALLOW_PRAGMA = re.compile(r"#\s*lint:\s*allow\(([A-Za-z0-9_,\s-]+)\)")
+
+
+def _allow_pragmas(source: str) -> Dict[int, Set[str]]:
+    """Per-line rule-id suppressions declared with the allow pragma."""
+    allows: Dict[int, Set[str]] = {}
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_PRAGMA.search(line)
+        if match is not None:
+            allows[line_no] = {
+                token.strip() for token in match.group(1).split(",") if token.strip()
+            }
+    return allows
+
+
+def _suppressed(diag: Diagnostic, allows: Dict[int, Set[str]]) -> bool:
+    line = diag.location.line
+    return line is not None and diag.rule in allows.get(line, ())
+
+
 def lint_source_text(source: str, filename: str = "<string>") -> List[Diagnostic]:
-    """Run every source rule over one module's text."""
+    """Run every source rule over one module's text.
+
+    Findings on lines carrying a matching ``# lint: allow(<rule-id>)``
+    pragma are suppressed; the pragma names exact rule ids, never
+    prefixes.
+    """
     from repro.lint.rules_source import SOURCE_RULES
 
     try:
         tree = ast.parse(source, filename=filename)
     except SyntaxError as error:
         return [_syntax_diagnostic(filename, error)]
+    allows = _allow_pragmas(source)
     diagnostics: List[Diagnostic] = []
     for rule in SOURCE_RULES:
-        diagnostics.extend(rule.check(tree, filename))
+        diagnostics.extend(
+            diag for diag in rule.check(tree, filename) if not _suppressed(diag, allows)
+        )
     return sort_diagnostics(diagnostics)
 
 

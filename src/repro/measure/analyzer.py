@@ -28,6 +28,7 @@ from fractions import Fraction
 from typing import List, Tuple
 
 from repro.errors import MeasurementError
+from repro.obs.profile import host_phase
 from repro.obs.tracer import MEASURE_TRACK, active as _active_tracer
 from repro.sim.trace import TraceRecorder
 from repro.system.states import POWER_CHANNEL
@@ -150,19 +151,20 @@ class PowerAnalyzer:
         (exact rational accumulation, one final rounding), so it does not
         depend on the order the samples would have been summed in.
         """
-        total, runs = self._sample_runs(start_ps, end_ps)
-        acc = Fraction(0)
-        for count, watts in runs:
-            acc += Fraction(watts) * count
-        values = [watts for _count, watts in runs]
-        reading = AnalyzerReading(
-            start_ps=start_ps,
-            end_ps=end_ps,
-            samples=total,
-            average_watts=float(acc / total),
-            min_watts=min(values),
-            max_watts=max(values),
-        )
+        with host_phase("measure"):
+            total, runs = self._sample_runs(start_ps, end_ps)
+            acc = Fraction(0)
+            for count, watts in runs:
+                acc += Fraction(watts) * count
+            values = [watts for _count, watts in runs]
+            reading = AnalyzerReading(
+                start_ps=start_ps,
+                end_ps=end_ps,
+                samples=total,
+                average_watts=float(acc / total),
+                min_watts=min(values),
+                max_watts=max(values),
+            )
         tracer = _active_tracer()
         if tracer is not None:
             window = tracer.begin(

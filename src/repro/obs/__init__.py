@@ -5,7 +5,11 @@ The observability layer of the reproduction: a span/event
 :class:`~repro.obs.metrics.MetricsRegistry` of counters/gauges/
 histograms, an :class:`EnergyLedger` attributing per-domain energy to
 flow steps, and exporters for Chrome trace JSON (Perfetto), JSONL, and
-terminal summaries.
+terminal summaries.  Two host-side companions watch the repo itself: the
+:mod:`~repro.obs.runlog` flight recorder (one JSON record per experiment
+run under ``.repro/runs/``, consumed by ``python -m repro report``) and
+the :mod:`~repro.obs.profile` phase profiler (host wall time and peak
+allocations per build/simulate/measure/analyze phase).
 
 Quick start::
 
@@ -50,12 +54,26 @@ from repro.obs.tracer import (
 _LAZY = {
     "chrome_trace": "repro.obs.export",
     "jsonl_lines": "repro.obs.export",
+    "render_profile": "repro.obs.export",
     "render_summary": "repro.obs.export",
     "write_chrome_trace": "repro.obs.export",
     "write_jsonl": "repro.obs.export",
     "TRACE_CONFIGS": "repro.obs.run",
     "TraceSession": "repro.obs.run",
     "run_traced": "repro.obs.run",
+    "PhaseProfiler": "repro.obs.profile",
+    "active_profiler": "repro.obs.profile",
+    "host_phase": "repro.obs.profile",
+    "install_profiler": "repro.obs.profile",
+    "profiled": "repro.obs.profile",
+    "uninstall_profiler": "repro.obs.profile",
+    "RunLog": "repro.obs.runlog",
+    "RunRecorder": "repro.obs.runlog",
+    "active_recorder": "repro.obs.runlog",
+    "git_revision": "repro.obs.runlog",
+    "install_recorder": "repro.obs.runlog",
+    "recording": "repro.obs.runlog",
+    "uninstall_recorder": "repro.obs.runlog",
 }
 
 __all__ = [
@@ -71,19 +89,33 @@ __all__ = [
     "MEASURE_TRACK",
     "MetricsRegistry",
     "PMU_TRACK",
+    "PhaseProfiler",
+    "RunLog",
+    "RunRecorder",
     "Span",
     "TRACE_CONFIGS",
     "TraceSession",
     "Tracer",
     "WAKE_TRACK",
     "active",
+    "active_profiler",
+    "active_recorder",
     "chrome_trace",
+    "git_revision",
+    "host_phase",
     "install",
+    "install_profiler",
+    "install_recorder",
     "jsonl_lines",
     "observe",
+    "profiled",
+    "recording",
+    "render_profile",
     "render_summary",
     "run_traced",
     "uninstall",
+    "uninstall_profiler",
+    "uninstall_recorder",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -14,6 +14,13 @@ Three views of one :class:`~repro.obs.tracer.Tracer`:
 * :func:`render_summary` — an aligned terminal digest (span totals,
   counters, histograms) built on the same table renderer the experiment
   commands use.
+
+Each exporter also accepts the host-phase ``profiler``
+(:class:`~repro.obs.profile.PhaseProfiler`): its build/simulate/
+measure/analyze spans join the Chrome trace as a second ``repro-host``
+process (host microseconds, not simulated ones), the JSONL stream as
+``"phase"`` records, and the terminal digest as a "Host phases" table
+(:func:`render_profile`).
 """
 
 from __future__ import annotations
@@ -24,10 +31,15 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.analysis.report import format_table
 from repro.obs.ledger import EnergyLedger
+from repro.obs.profile import PhaseProfiler
 from repro.obs.tracer import Tracer
 
 #: Process id used for every simulated-timeline event.
 TRACE_PID = 1
+
+#: Process id used for host-phase (profiler) events — a separate process
+#: in the trace viewer because its clock is the host's, not the kernel's.
+HOST_PID = 2
 
 #: picoseconds per microsecond (the trace-event timestamp unit).
 _PS_PER_US = 1_000_000
@@ -56,12 +68,16 @@ def chrome_trace(
     tracer: Tracer,
     platform: Optional[Any] = None,
     end_ps: Optional[int] = None,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> Dict[str, Any]:
     """Build a Chrome trace-event document from an observed run.
 
     ``platform`` adds its state timeline and power-counter tracks from
     the platform's :class:`~repro.sim.trace.TraceRecorder`; ``end_ps``
     bounds them (default: the platform kernel's final time).
+    ``profiler`` adds the host-phase timeline as a second process —
+    its timestamps are host time, so the two processes share an origin
+    but not a clock.
     """
     tracks = _track_ids(tracer, platform)
     events: List[Dict[str, Any]] = [
@@ -122,6 +138,8 @@ def chrome_trace(
         events.append(event)
     if platform is not None:
         events.extend(_platform_events(platform, tracks, end_ps))
+    if profiler is not None:
+        events.extend(_profiler_events(profiler))
     events.sort(key=lambda event: (event.get("ts", -1.0), event["ph"] != "M"))
     return {
         "traceEvents": events,
@@ -133,6 +151,38 @@ def chrome_trace(
             "instants": len(tracer.instants),
         },
     }
+
+
+def _profiler_events(profiler: PhaseProfiler) -> Iterator[Dict[str, Any]]:
+    """Host-phase spans as a separate ``repro-host`` trace process."""
+    yield {
+        "name": "process_name",
+        "ph": "M",
+        "pid": HOST_PID,
+        "tid": 0,
+        "args": {"name": "repro-host"},
+    }
+    yield {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": HOST_PID,
+        "tid": 0,
+        "args": {"name": "host phases"},
+    }
+    for span in profiler.closed_spans():
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": "host-phase",
+            "ph": "X",
+            "ts": span.start_s * 1e6,  # host seconds -> trace microseconds
+            "dur": span.wall_s * 1e6,
+            "pid": HOST_PID,
+            "tid": 0,
+            "args": {"depth": span.depth},
+        }
+        if span.peak_bytes is not None:
+            event["args"]["peak_bytes"] = span.peak_bytes
+        yield event
 
 
 def _platform_events(
@@ -173,10 +223,11 @@ def write_chrome_trace(
     path: Union[str, Path],
     platform: Optional[Any] = None,
     end_ps: Optional[int] = None,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> Path:
     """Write :func:`chrome_trace` output to ``path`` and return it."""
     target = Path(path)
-    document = chrome_trace(tracer, platform=platform, end_ps=end_ps)
+    document = chrome_trace(tracer, platform=platform, end_ps=end_ps, profiler=profiler)
     target.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
     return target
 
@@ -184,8 +235,11 @@ def write_chrome_trace(
 # --- JSONL --------------------------------------------------------------------
 
 
-def jsonl_lines(tracer: Tracer) -> Iterator[str]:
-    """One JSON object per recorded span/instant, then per metric."""
+def jsonl_lines(tracer: Tracer, profiler: Optional[PhaseProfiler] = None) -> Iterator[str]:
+    """One JSON object per recorded span/instant, then per metric.
+
+    ``profiler`` appends one ``"phase"`` record per closed host phase
+    (host seconds, not simulated picoseconds)."""
     for span in tracer.spans:
         record: Dict[str, Any] = {
             "type": "span",
@@ -217,26 +271,83 @@ def jsonl_lines(tracer: Tracer) -> Iterator[str]:
         yield json.dumps(
             {"type": "histogram", "name": name, **stats}, sort_keys=True
         )
+    if profiler is not None:
+        for span in profiler.closed_spans():
+            record = {
+                "type": "phase",
+                "name": span.name,
+                "start_s": span.start_s,
+                "wall_s": span.wall_s,
+                "self_s": span.self_s,
+                "depth": span.depth,
+            }
+            if span.peak_bytes is not None:
+                record["peak_bytes"] = span.peak_bytes
+            yield json.dumps(record, sort_keys=True)
 
 
-def write_jsonl(tracer: Tracer, path: Union[str, Path]) -> Path:
+def write_jsonl(
+    tracer: Tracer,
+    path: Union[str, Path],
+    profiler: Optional[PhaseProfiler] = None,
+) -> Path:
     target = Path(path)
-    target.write_text("".join(line + "\n" for line in jsonl_lines(tracer)))
+    target.write_text(
+        "".join(line + "\n" for line in jsonl_lines(tracer, profiler=profiler))
+    )
     return target
 
 
 # --- terminal summary ---------------------------------------------------------
 
 
+def render_profile(profiler: PhaseProfiler) -> str:
+    """Aligned "Host phases" table for a :class:`PhaseProfiler`.
+
+    Returns the empty string when the profiler recorded no closed
+    phases, so callers can append it unconditionally.
+    """
+    stats = profiler.stats()
+    if not stats:
+        return ""
+    track_allocations = any(
+        entry.peak_bytes is not None for entry in stats.values()
+    )
+    headers = ["phase", "count", "wall time", "self time"]
+    if track_allocations:
+        headers.append("peak alloc")
+    rows: List[List[Any]] = []
+    for name, entry in stats.items():
+        row: List[Any] = [
+            name,
+            entry.count,
+            f"{entry.wall_s * 1e3:,.2f} ms",
+            f"{entry.self_s * 1e3:,.2f} ms",
+        ]
+        if track_allocations:
+            row.append(
+                f"{entry.peak_bytes / 1024:,.1f} KiB"
+                if entry.peak_bytes is not None
+                else "-"
+            )
+        rows.append(row)
+    total = profiler.total_wall_s()
+    return format_table(
+        headers, rows, title=f"Host phases ({total * 1e3:,.2f} ms top-level)"
+    )
+
+
 def render_summary(
     tracer: Tracer,
     ledger: Optional[EnergyLedger] = None,
     include_spans: bool = True,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> str:
     """Aligned terminal digest of an observed run.
 
     ``include_spans=False`` restricts the digest to the metrics tables
-    (the CLI's ``--metrics`` view).
+    (the CLI's ``--metrics`` view).  ``profiler`` appends the
+    :func:`render_profile` host-phase table.
     """
     sections: List[str] = []
 
@@ -306,4 +417,9 @@ def render_summary(
                 format_table(["flow step", "domain", "energy"], rows,
                              title="Flow-step attribution (top cells)")
             )
+
+    if profiler is not None:
+        phase_table = render_profile(profiler)
+        if phase_table:
+            sections.append(phase_table)
     return "\n\n".join(sections)

@@ -1,0 +1,46 @@
+"""repro.regress — the golden-number regression watchdog.
+
+``python -m repro report`` joins the flight-recorder run history
+(:mod:`repro.obs.runlog`) with the microbenchmark figures in
+``BENCH_perf.json`` and applies per-metric tolerance policies
+(:mod:`repro.regress.policies`): paper-fidelity deltas for every
+registered experiment, speedup floors for the perf work, and the
+tracer-overhead ceiling.  One nonzero exit covers both
+correctness-vs-paper and the performance trajectory.
+"""
+
+from repro.regress.policies import (
+    BENCH_KINDS,
+    BENCH_POLICIES,
+    BenchPolicy,
+    bench_policies,
+    golden_policies,
+)
+from repro.regress.report import (
+    DEFAULT_BENCH_PATH,
+    EXIT_DRIFT,
+    EXIT_OK,
+    EXIT_USAGE,
+    REPORT_SCHEMA,
+    build_report,
+    load_baseline,
+    render_html,
+    render_text,
+)
+
+__all__ = [
+    "BENCH_KINDS",
+    "BENCH_POLICIES",
+    "BenchPolicy",
+    "DEFAULT_BENCH_PATH",
+    "EXIT_DRIFT",
+    "EXIT_OK",
+    "EXIT_USAGE",
+    "REPORT_SCHEMA",
+    "bench_policies",
+    "build_report",
+    "golden_policies",
+    "load_baseline",
+    "render_html",
+    "render_text",
+]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.lint import lint_paths, lint_platform, walk_model
+from repro.lint import lint_experiments, lint_paths, lint_platform, walk_model
 from repro.lint.diagnostics import render_text
 from repro.lint.source import default_source_root
 from repro.system.skylake import SkylakePlatform
@@ -48,3 +48,17 @@ def test_model_walk_is_not_vacuous():
 def test_repro_sources_are_clean():
     diagnostics = lint_paths([default_source_root()])
     assert diagnostics == [], describe(diagnostics)
+
+
+def test_experiment_registry_is_clean():
+    """M307: every shipped driver declares goldens (or an exempt reason)."""
+    diagnostics = lint_experiments()
+    assert diagnostics == [], describe(diagnostics)
+
+
+def test_experiment_registry_check_is_not_vacuous():
+    """Guard against the registry check passing because nothing registered."""
+    from repro.core.experiments import EXPERIMENTS
+
+    assert len(EXPERIMENTS) >= 8
+    assert sum(1 for spec in EXPERIMENTS.values() if spec.goldens) >= 7

@@ -219,3 +219,46 @@ class TestFileWalking:
         assert [d.rule for d in diags] == ["S404", "S401"]
         lines = [d.location.line for d in diags]
         assert lines == sorted(lines)
+
+
+class TestAllowPragma:
+    def test_pragma_suppresses_named_rule(self):
+        assert check("""
+            import time
+            t = time.perf_counter()  # lint: allow(S401) host profiler
+        """) == []
+
+    def test_pragma_is_per_line(self):
+        diags = check("""
+            import time
+            t0 = time.perf_counter()  # lint: allow(S401)
+            t1 = time.perf_counter()
+        """)
+        assert rule_ids(diags) == ["S401"]
+        assert diags[0].location.line == 4
+
+    def test_pragma_names_exact_rule(self):
+        # allowing a different rule does not suppress S401
+        diags = check("""
+            import time
+            t = time.time()  # lint: allow(S402)
+        """)
+        assert rule_ids(diags) == ["S401"]
+
+    def test_pragma_multiple_rules(self):
+        diags = check("""
+            import time
+
+            def f(items=[], t=time.time()):  # lint: allow(S401, S404)
+                return items
+        """)
+        assert diags == []
+
+    def test_unrelated_finding_on_same_line_still_fires(self):
+        diags = check("""
+            import time
+
+            def f(items=[], t=time.time()):  # lint: allow(S404)
+                return items
+        """)
+        assert rule_ids(diags) == ["S401"]

@@ -1,0 +1,156 @@
+"""Exporter tests: terminal tables, profiler export, edge cases.
+
+Direct assertions over ``repro.obs.export`` — the aligned-column
+terminal digest (column alignment, empty-trace and counter-only edge
+cases), and the profiler's three export paths (Chrome trace process,
+JSONL phase records, "Host phases" table).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    HOST_PID,
+    TRACE_PID,
+    chrome_trace,
+    jsonl_lines,
+    render_profile,
+    render_summary,
+)
+from repro.obs.profile import PhaseProfiler
+from repro.obs.tracer import MEASURE_TRACK, Tracer
+
+
+def make_tracer() -> Tracer:
+    tracer = Tracer()
+    span = tracer.begin("entry:llc-flush", 100)
+    tracer.end(span, 1_100)
+    span = tracer.begin("analyzer:platform", 0, track=MEASURE_TRACK)
+    tracer.end(span, 2_000)
+    tracer.metrics.counter("cache.hit").inc(3)
+    return tracer
+
+
+def make_profiler() -> PhaseProfiler:
+    profiler = PhaseProfiler()
+    with profiler.phase("analyze"):
+        with profiler.phase("build"):
+            pass
+        with profiler.phase("simulate"):
+            pass
+    return profiler
+
+
+class TestRenderSummaryTables:
+    def test_columns_are_aligned(self):
+        text = render_summary(make_tracer())
+        lines = text.splitlines()
+        header = next(line for line in lines if line.startswith("track"))
+        rule = lines[lines.index(header) + 1]
+        rows = [line for line in lines[lines.index(header) + 2:] if line.strip()]
+        # the rule row dashes mark every column edge; each data row's
+        # column text starts exactly where the header's does
+        for column in ("track", "span", "count", "total sim time"):
+            offset = header.index(column)
+            assert rule[offset] == "-"
+        starts = [header.index(name) for name in ("span", "count")]
+        for row in rows[:2]:
+            for offset in starts:
+                assert row[offset - 1] == " "
+
+    def test_span_totals_and_counters_render(self):
+        text = render_summary(make_tracer())
+        assert "Spans" in text
+        assert "entry:llc-flush" in text
+        assert "Counters" in text
+        assert "cache.hit" in text
+
+    def test_empty_tracer_renders_empty(self):
+        assert render_summary(Tracer()) == ""
+
+    def test_counter_only_tracer(self):
+        tracer = Tracer()
+        tracer.metrics.counter("cache.miss").inc()
+        text = render_summary(tracer)
+        assert "Counters" in text
+        assert "cache.miss" in text
+        assert "Spans" not in text
+
+    def test_metrics_only_view_hides_spans(self):
+        text = render_summary(make_tracer(), include_spans=False)
+        assert "Spans" not in text
+        assert "Counters" in text
+
+    def test_leaked_spans_are_called_out(self):
+        tracer = Tracer()
+        tracer.begin("never-closed", 42)
+        text = render_summary(tracer)
+        assert "LEAKED SPANS" in text
+        assert "never-closed" in text
+
+
+class TestRenderProfile:
+    def test_host_phase_table(self):
+        text = render_profile(make_profiler())
+        assert "Host phases" in text
+        for phase in ("build", "simulate", "analyze"):
+            assert phase in text
+        assert "ms" in text
+
+    def test_empty_profiler_renders_empty(self):
+        assert render_profile(PhaseProfiler()) == ""
+
+    def test_peak_alloc_column_only_when_tracked(self):
+        untracked = render_profile(make_profiler())
+        assert "peak alloc" not in untracked
+        profiler = PhaseProfiler(track_allocations=True)
+        with profiler.phase("build"):
+            _ = [0] * 10_000
+        profiler.close()
+        tracked = render_profile(profiler)
+        assert "peak alloc" in tracked
+        assert "KiB" in tracked
+
+    def test_summary_appends_profile_section(self):
+        text = render_summary(make_tracer(), profiler=make_profiler())
+        assert "Counters" in text
+        assert "Host phases" in text
+
+
+class TestChromeTraceProfiler:
+    def test_host_process_events(self):
+        document = chrome_trace(make_tracer(), profiler=make_profiler())
+        events = document["traceEvents"]
+        host = [e for e in events if e["pid"] == HOST_PID]
+        names = {e["name"] for e in host if e["ph"] == "X"}
+        assert names == {"build", "simulate", "analyze"}
+        process_meta = [e for e in host if e["ph"] == "M" and e["name"] == "process_name"]
+        assert process_meta[0]["args"]["name"] == "repro-host"
+        # simulated-timeline events keep their own process
+        assert any(e["pid"] == TRACE_PID for e in events)
+
+    def test_without_profiler_no_host_process(self):
+        document = chrome_trace(make_tracer())
+        assert all(e["pid"] == TRACE_PID for e in document["traceEvents"])
+
+    def test_document_is_jsonable(self):
+        document = chrome_trace(make_tracer(), profiler=make_profiler())
+        assert json.loads(json.dumps(document)) == document
+
+
+class TestJsonlProfiler:
+    def test_phase_records_appended(self):
+        lines = [json.loads(line) for line in
+                 jsonl_lines(make_tracer(), profiler=make_profiler())]
+        phases = [record for record in lines if record["type"] == "phase"]
+        assert {record["name"] for record in phases} == {
+            "build", "simulate", "analyze"
+        }
+        analyze = next(r for r in phases if r["name"] == "analyze")
+        assert analyze["depth"] == 0
+        assert analyze["wall_s"] >= analyze["self_s"]
+
+    def test_without_profiler_no_phase_records(self):
+        lines = [json.loads(line) for line in jsonl_lines(make_tracer())]
+        assert all(record["type"] != "phase" for record in lines)
