@@ -16,6 +16,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.check import check_standby_model
 from repro.core.experiments import fig2_connected_standby, fig6b_core_frequency
 from repro.measure.analyzer import PowerAnalyzer
 from repro.obs.tracer import observe
@@ -201,6 +202,44 @@ def test_tracer_overhead_on_fig2(benchmark, emit):
     }
     emit(f"tracer overhead on fig2: disabled {disabled_s:.2f} s, enabled "
          f"{enabled_s:.2f} s ({overhead:+.1%} when tracing)")
+
+
+#: The model checker gates every commit, so the exhaustive exploration
+#: of the shipped platform must stay interactive, and a rerun with the
+#: same config fingerprint must hit the state-space cache instead of
+#: exploring again (ISSUE acceptance criteria for the repro.check gate).
+MAX_CHECK_COLD_S = 5.0
+MIN_CHECK_CACHE_SPEEDUP = 10.0
+
+
+def test_check_fig2_statespace(benchmark, emit):
+    """Exhaustive model check of the standby platform + cached rerun."""
+    cache = SimulationCache()
+    t0 = time.perf_counter()
+    cold = check_standby_model(cache=cache)
+    cold_s = time.perf_counter() - t0
+
+    warm = run_once(benchmark, check_standby_model, cache=cache)
+    warm_s = min(benchmark.stats.stats.data)
+
+    assert cold.diagnostics == []
+    assert cold.state_space["truncated"] is False
+    assert warm is cold and cache.stats.hits == 1
+    assert cold_s < MAX_CHECK_COLD_S
+    speedup = cold_s / warm_s
+    assert speedup >= MIN_CHECK_CACHE_SPEEDUP
+    _results["check_fig2_statespace"] = {
+        "wall_s": warm_s,
+        "cold_wall_s": cold_s,
+        "speedup": speedup,
+        "states_explored": cold.state_space["states_explored"],
+        "transitions_taken": cold.state_space["transitions_taken"],
+    }
+    emit(
+        f"model check: {cold.state_space['states_explored']} states explored "
+        f"in {cold_s * 1e3:.1f} ms cold, cached rerun {warm_s * 1e6:.0f} µs "
+        f"({speedup:,.0f}x)"
+    )
 
 
 #: Parallel fig6b sweep must actually beat the serial run.  At 2 points

@@ -1,0 +1,398 @@
+"""Interprocedural unit-dataflow analysis (``C4xx``).
+
+The ``S4xx`` source rules check unit discipline one statement at a time;
+this pass follows unit *tags* across call boundaries.  A tag is the
+canonical unit a name's suffix declares — ``flush_latency_ps`` carries
+picoseconds, ``idle_power_watts`` carries watts — and the analysis
+propagates tags through the call graph with a fixpoint:
+
+1. every function's return unit starts from its name suffix (or unknown);
+2. a function without a suffix inherits the unit its ``return``
+   expressions provably carry — which may come from *other* functions'
+   returns — and the pass iterates until no return unit changes;
+3. with return units settled, every call site, return statement and
+   additive expression is checked for definite disagreements.
+
+Findings (all require **two definite, conflicting** tags — an unknown
+unit never fires, so conversions like ``latency_ps / 1e12`` that launder
+the tag through division stay silent):
+
+* ``C401 call-unit-mismatch`` — an argument carrying unit U flows into a
+  parameter declaring unit V (the watts-into-joules class of bug).
+* ``C402 return-unit-mismatch`` — a ``*_ps`` function returns a value
+  that provably carries seconds (the ps-into-seconds class).
+* ``C403 arith-unit-mismatch`` — ``+``/``-`` over two different units.
+
+Deliberate conservatism: multiplication and division *drop* tags (unit
+conversions are exactly such expressions), names built around ``_per_``
+are rates and carry no tag, and a call target that resolves to multiple
+definitions only counts when every definition agrees.  Suppression uses
+the same per-line ``lint: allow`` pragma as the source checker, through
+the shared :func:`repro.lint.source.allow_map_for` map.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic, sort_diagnostics
+from repro.lint.source import (
+    PathLike,
+    _suppressed,
+    allow_map_for,
+    default_source_root,
+    iter_python_files,
+)
+from repro.check.rules import C401_RULE, C402_RULE, C403_RULE
+
+#: Name-suffix token -> canonical unit tag.  Distinct tags of the same
+#: dimension (ps vs s) still conflict: scale mixups are the bug class.
+_UNIT_TOKENS: Dict[str, str] = {
+    "ps": "ps",
+    "ns": "ns",
+    "us": "us",
+    "ms": "ms",
+    "s": "s",
+    "sec": "s",
+    "secs": "s",
+    "seconds": "s",
+    "w": "watts",
+    "watts": "watts",
+    "mw": "milliwatts",
+    "uw": "microwatts",
+    "j": "joules",
+    "joules": "joules",
+    "mj": "millijoules",
+    "uj": "microjoules",
+    "wh": "watt-hours",
+    "hz": "hz",
+    "khz": "khz",
+    "mhz": "mhz",
+    "ghz": "ghz",
+}
+
+#: Calls that preserve their (single) argument's unit.
+_UNIT_PRESERVING_CALLS = frozenset(
+    {"int", "round", "float", "abs", "floor", "ceil", "max", "min", "sum"}
+)
+
+
+def unit_of_name(name: Optional[str]) -> Optional[str]:
+    """The unit tag a name's suffix declares, if any.
+
+    Only ``snake_case`` suffixes count (``latency_ps`` yes, a variable
+    literally named ``s`` no), and names containing ``_per_`` are rates
+    whose trailing token is a denominator, not the value's unit.
+    """
+    if name is None or "_" not in name:
+        return None
+    lowered = name.lower()
+    if "_per_" in lowered:
+        return None
+    return _UNIT_TOKENS.get(lowered.rsplit("_", 1)[1])
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """One function definition, as the dataflow pass sees it."""
+
+    name: str
+    filename: str
+    node: ast.AST
+    #: Positional parameter names, ``self``/``cls`` stripped.
+    params: Tuple[str, ...]
+    #: Unit declared by the function's own name suffix, if any.
+    declared_return: Optional[str]
+    is_generator: bool
+    #: Return unit settled by the fixpoint (starts at the declaration).
+    return_unit: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.return_unit = self.declared_return
+
+
+@dataclass
+class _Module:
+    filename: str
+    tree: ast.Module
+    allows: Dict[int, Set[str]] = field(default_factory=dict)
+
+
+class UnitDataflow:
+    """The whole-program analysis: build, solve, then check."""
+
+    def __init__(self) -> None:
+        self.modules: List[_Module] = []
+        #: Bare callable name -> every definition carrying it.
+        self.table: Dict[str, List[FunctionInfo]] = {}
+
+    # --- construction -----------------------------------------------------
+
+    def add_source(self, source: str, filename: str) -> Optional[Diagnostic]:
+        try:
+            tree = ast.parse(source, filename=filename)
+        except SyntaxError:
+            return None  # the source checker already reports S400
+        module = _Module(filename, tree, allow_map_for(source, tree))
+        self.modules.append(module)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = _function_info(node, filename)
+                self.table.setdefault(info.name, []).append(info)
+        return None
+
+    # --- fixpoint ---------------------------------------------------------
+
+    def solve(self, max_rounds: int = 20) -> None:
+        """Propagate return units around the call graph to a fixpoint."""
+        infos = [info for defs in self.table.values() for info in defs]
+        for _ in range(max_rounds):
+            changed = False
+            for info in infos:
+                if info.declared_return is not None or info.is_generator:
+                    continue
+                units = set()
+                definite = True
+                for ret in _own_returns(info.node):
+                    if ret.value is None:
+                        continue
+                    unit = self.unit_of(ret.value)
+                    if unit is None:
+                        definite = False
+                        break
+                    units.add(unit)
+                new = units.pop() if definite and len(units) == 1 else None
+                if new != info.return_unit:
+                    info.return_unit = new
+                    changed = True
+            if not changed:
+                return
+
+    # --- expression units -------------------------------------------------
+
+    def call_return_unit(self, node: ast.Call) -> Optional[str]:
+        name = _terminal_name(node.func)
+        if name is None:
+            return None
+        if name in _UNIT_PRESERVING_CALLS:
+            units = {self.unit_of(arg) for arg in node.args}
+            if len(units) == 1:
+                return units.pop()
+            return None
+        declared = unit_of_name(name)
+        if declared is not None:
+            return declared
+        defs = self.table.get(name)
+        if not defs:
+            return None
+        units = {info.return_unit for info in defs}
+        if len(units) == 1:
+            return units.pop()
+        return None
+
+    def unit_of(self, node: ast.expr) -> Optional[str]:
+        """The unit tag ``node`` provably carries, or None."""
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            return unit_of_name(_terminal_name(node))
+        if isinstance(node, ast.Call):
+            return self.call_return_unit(node)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            return self.unit_of(node.operand)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            left = self.unit_of(node.left)
+            right = self.unit_of(node.right)
+            if left is not None and right is not None:
+                return left if left == right else None
+            return left if left is not None else right
+        if isinstance(node, ast.IfExp):
+            body = self.unit_of(node.body)
+            orelse = self.unit_of(node.orelse)
+            return body if body is not None and body == orelse else None
+        return None
+
+    # --- checks -----------------------------------------------------------
+
+    def check(self) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        for module in self.modules:
+            found: List[Diagnostic] = []
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                    found.extend(self._check_arith(node, module.filename))
+                elif isinstance(node, ast.Call):
+                    found.extend(self._check_call(node, module.filename))
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    found.extend(self._check_returns(node, module.filename))
+            diagnostics.extend(
+                diag for diag in found if not _suppressed(diag, module.allows)
+            )
+        return sort_diagnostics(diagnostics)
+
+    def _check_arith(self, node: ast.BinOp, filename: str) -> Iterable[Diagnostic]:
+        left = self.unit_of(node.left)
+        right = self.unit_of(node.right)
+        if left is not None and right is not None and left != right:
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            yield C403_RULE.diagnostic(
+                f"{op} mixes {left} ({_describe(node.left)}) with {right} "
+                f"({_describe(node.right)})",
+                file=filename,
+                line=node.lineno,
+                hint="convert one side explicitly (repro.units has the helpers)",
+            )
+
+    def _check_call(self, node: ast.Call, filename: str) -> Iterable[Diagnostic]:
+        name = _terminal_name(node.func)
+        if name is None or name in _UNIT_PRESERVING_CALLS:
+            return
+        param_units = self._merged_param_units(name)
+        for index, arg in enumerate(node.args):
+            declared = param_units.get(index)
+            if declared is None:
+                continue
+            param_name, unit = declared
+            actual = self.unit_of(arg)
+            if actual is not None and actual != unit:
+                yield C401_RULE.diagnostic(
+                    f"{name}() parameter {param_name!r} declares {unit} but the "
+                    f"argument ({_describe(arg)}) carries {actual}",
+                    file=filename,
+                    line=node.lineno,
+                    hint="convert at the call site, or rename one of the two",
+                )
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            declared_unit = unit_of_name(keyword.arg)
+            if declared_unit is None:
+                continue
+            actual = self.unit_of(keyword.value)
+            if actual is not None and actual != declared_unit:
+                yield C401_RULE.diagnostic(
+                    f"{name}() keyword {keyword.arg!r} declares {declared_unit} "
+                    f"but the argument ({_describe(keyword.value)}) carries {actual}",
+                    file=filename,
+                    line=node.lineno,
+                    hint="convert at the call site, or rename one of the two",
+                )
+
+    def _merged_param_units(self, name: str) -> Dict[int, Tuple[str, str]]:
+        """Positional index -> (param name, unit), where all defs agree."""
+        defs = self.table.get(name)
+        if not defs:
+            return {}
+        merged: Dict[int, Tuple[str, str]] = {}
+        width = min(len(info.params) for info in defs)
+        for index in range(width):
+            names = {info.params[index] for info in defs}
+            units = {unit_of_name(info.params[index]) for info in defs}
+            if len(units) == 1 and len(names) == 1:
+                unit = units.pop()
+                if unit is not None:
+                    merged[index] = (names.pop(), unit)
+        return merged
+
+    def _check_returns(
+        self, node: ast.AST, filename: str
+    ) -> Iterable[Diagnostic]:
+        info = _function_info(node, filename)
+        if info.declared_return is None or info.is_generator:
+            return
+        for ret in _own_returns(node):
+            if ret.value is None:
+                continue
+            actual = self.unit_of(ret.value)
+            if actual is not None and actual != info.declared_return:
+                yield C402_RULE.diagnostic(
+                    f"{info.name}() declares {info.declared_return} but returns "
+                    f"a value ({_describe(ret.value)}) carrying {actual}",
+                    file=filename,
+                    line=ret.lineno,
+                    hint="convert before returning, or rename the function",
+                )
+
+
+def _function_info(node: ast.AST, filename: str) -> FunctionInfo:
+    args = node.args
+    params = tuple(
+        arg.arg
+        for arg in [*args.posonlyargs, *args.args]
+        if arg.arg not in ("self", "cls")
+    )
+    return FunctionInfo(
+        name=node.name,
+        filename=filename,
+        node=node,
+        params=params,
+        declared_return=unit_of_name(node.name),
+        is_generator=_is_generator(node),
+    )
+
+
+def _own_statements(node: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+    stack = list(node.body)
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _own_returns(node: ast.AST) -> Iterable[ast.Return]:
+    for child in _own_statements(node):
+        if isinstance(child, ast.Return):
+            yield child
+
+
+def _is_generator(node: ast.AST) -> bool:
+    return any(
+        isinstance(child, (ast.Yield, ast.YieldFrom)) for child in _own_statements(node)
+    )
+
+
+def _describe(node: ast.expr) -> str:
+    name = _terminal_name(node)
+    if name is not None:
+        return name
+    if isinstance(node, ast.Call):
+        callee = _terminal_name(node.func)
+        return f"{callee}(...)" if callee else "a call"
+    return "an expression"
+
+
+def analyze_sources(sources: Dict[str, str]) -> List[Diagnostic]:
+    """Run the dataflow pass over ``{filename: source}`` in one program."""
+    flow = UnitDataflow()
+    for filename in sorted(sources):
+        flow.add_source(sources[filename], filename)
+    flow.solve()
+    return flow.check()
+
+
+def analyze_paths(paths: Sequence[PathLike]) -> List[Diagnostic]:
+    """Run the dataflow pass over every ``*.py`` file under ``paths``.
+
+    All files are analyzed as one program, so a unit inferred in one
+    module checks call sites in another.
+    """
+    sources = {
+        str(path): path.read_text(encoding="utf-8") for path in iter_python_files(paths)
+    }
+    return analyze_sources(sources)
+
+
+def analyze_source_root() -> List[Diagnostic]:
+    """Analyze the installed ``repro`` package (what the CLI checks)."""
+    return analyze_paths([default_source_root()])

@@ -1,0 +1,132 @@
+"""Rule catalog of the exhaustive model checker (``C-series``).
+
+Three families, reported through the shared
+:class:`~repro.lint.diagnostics.Diagnostic` framework and registered in
+the same rule registry the lint CLI validates ``--select`` patterns
+against:
+
+* ``C1xx`` — state-space structure: deadlocks, unreachable flow steps,
+  livelock cycles that never re-reach the active state, truncated
+  exploration, and compile-time binding errors (unknown clocks, safety
+  declarations naming unknown objects).
+* ``C2xx`` — safety-invariant violations found in a reachable composed
+  state (see :mod:`repro.check.invariants` for the invariant catalog).
+* ``C4xx`` — interprocedural unit-dataflow findings of
+  :mod:`repro.check.dataflow`: unit tags (``_ps``, ``_watts``, ``_mw``,
+  ``_joules``, ...) propagated across call boundaries disagree.
+
+Rule ids must never collide with the ``M``/``S`` series; the shared
+registry (:func:`repro.lint.all_rules`) asserts uniqueness in the gate
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+
+
+@dataclass(frozen=True)
+class CheckRule:
+    """Identity of one checker rule (the check logic lives elsewhere)."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    summary: str
+
+    def diagnostic(
+        self,
+        message: str,
+        obj: Optional[str] = None,
+        hint: str = "",
+        file: Optional[str] = None,
+        line: Optional[int] = None,
+    ) -> Diagnostic:
+        return Diagnostic(
+            rule=self.rule_id,
+            name=self.name,
+            severity=self.severity,
+            message=message,
+            location=Location(file=file, line=line, obj=obj),
+            hint=hint or None,
+        )
+
+
+C101_RULE = CheckRule(
+    "C101", "deadlock", Severity.ERROR,
+    "reachable composed state with no outgoing transition",
+)
+C102_RULE = CheckRule(
+    "C102", "unreachable-step", Severity.ERROR,
+    "declared flow step never executed in the reachable state space",
+)
+C103_RULE = CheckRule(
+    "C103", "livelock", Severity.ERROR,
+    "reachable cycle that never re-reaches the active state",
+)
+C104_RULE = CheckRule(
+    "C104", "state-space-truncated", Severity.WARNING,
+    "exploration hit the --max-states bound before exhausting the space",
+)
+C105_RULE = CheckRule(
+    "C105", "flow-unknown-clock", Severity.ERROR,
+    "flow step references a clock that does not exist",
+)
+C106_RULE = CheckRule(
+    "C106", "unknown-safety-reference", Severity.ERROR,
+    "safety declaration references an unknown domain or clock",
+)
+
+C201_RULE = CheckRule(
+    "C201", "clock-gated-while-live", Severity.ERROR,
+    "a live domain's required clock source is gated",
+)
+C202_RULE = CheckRule(
+    "C202", "rails-not-restored", Severity.ERROR,
+    "the active state is re-entered with domains still gated off",
+)
+C203_RULE = CheckRule(
+    "C203", "ledger-unbalanced", Severity.ERROR,
+    "suspend/resume ledger not conserved across a closed walk",
+)
+C204_RULE = CheckRule(
+    "C204", "wake-source-unarmed", Severity.ERROR,
+    "an idle state is reachable with every wake source torn down",
+)
+
+C401_RULE = CheckRule(
+    "C401", "call-unit-mismatch", Severity.ERROR,
+    "argument unit disagrees with the parameter's declared unit",
+)
+C402_RULE = CheckRule(
+    "C402", "return-unit-mismatch", Severity.ERROR,
+    "returned unit disagrees with the function's declared unit",
+)
+C403_RULE = CheckRule(
+    "C403", "arith-unit-mismatch", Severity.ERROR,
+    "addition/subtraction mixes incompatible units",
+)
+
+
+#: The full checker catalog, in catalog order (registry + docs).
+CHECK_RULES: Tuple[CheckRule, ...] = (
+    C101_RULE,
+    C102_RULE,
+    C103_RULE,
+    C104_RULE,
+    C105_RULE,
+    C106_RULE,
+    C201_RULE,
+    C202_RULE,
+    C203_RULE,
+    C204_RULE,
+    C401_RULE,
+    C402_RULE,
+    C403_RULE,
+)
+
+#: Rule lookup by id (used by the invariant catalog).
+CHECK_RULES_BY_ID: Dict[str, CheckRule] = {rule.rule_id: rule for rule in CHECK_RULES}

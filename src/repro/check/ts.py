@@ -1,0 +1,344 @@
+"""Transition-system compilation for the exhaustive model checker.
+
+:func:`compile_transition_system` turns the duck-typed
+:class:`~repro.lint.model.ModelView` — the declared platform-state FSM,
+the flow step sequences, and the power/clock dependency edges — into an
+explicit transition system over *composed states*: the FSM state, the
+position inside an executing flow, and the accumulated side effects of
+every step taken so far (domains gated off, domains halted, clock
+sources gated).
+
+The composition rule mirrors how :class:`~repro.system.flows.FlowController`
+really sequences the platform: entering an FSM state that has a flow
+attached (matched by name — the ``"entry"`` flow executes in the
+``ENTRY`` state) immediately executes the flow's first step; each
+micro-transition executes the next step; once the last step ran, the
+FSM edges of the hosting state fire.  A step whose ``requires`` names a
+domain that an earlier step gated off **blocks**: the edge does not
+exist, and if no other edge leaves the state the explorer reports a
+C101 deadlock with the blocking step named.
+
+The state space is finite by construction (finitely many FSM states,
+flow positions and effect subsets), but :mod:`repro.check.explore`
+still bounds the walk with ``max_states`` as a safety valve for
+user-authored views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.model import FlowView, ModelView
+from repro.check.rules import C105_RULE, C106_RULE
+
+
+def _state_name(state: object) -> str:
+    return getattr(state, "name", str(state))
+
+
+def _state_flow_key(state: object) -> str:
+    """The name a flow must carry to attach to this FSM state.
+
+    Enum states match on their ``value`` (``PlatformState.ENTRY.value``
+    is ``"entry"``) falling back to the lowercased member name, so plain
+    string FSMs in tests work the same way.
+    """
+    value = getattr(state, "value", None)
+    if isinstance(value, str):
+        return value
+    return _state_name(state).lower()
+
+
+class ComposedState:
+    """One explored state: FSM position x flow position x side effects.
+
+    Instances are immutable and hash-memoized: the hash over all six
+    fields is computed once at construction, so the explorer's visited
+    set never re-hashes the frozensets on lookup.
+    """
+
+    __slots__ = ("fsm", "flow", "step", "off", "halted", "gated", "_hash")
+
+    def __init__(
+        self,
+        fsm: str,
+        flow: Optional[str],
+        step: int,
+        off: FrozenSet[str],
+        halted: FrozenSet[str],
+        gated: FrozenSet[str],
+    ) -> None:
+        self.fsm = fsm
+        self.flow = flow
+        self.step = step
+        self.off = off
+        self.halted = halted
+        self.gated = gated
+        self._hash = hash((fsm, flow, step, off, halted, gated))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ComposedState):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.fsm == other.fsm
+            and self.flow == other.flow
+            and self.step == other.step
+            and self.off == other.off
+            and self.halted == other.halted
+            and self.gated == other.gated
+        )
+
+    def describe(self) -> str:
+        """Compact human-readable rendering for diagnostics."""
+        where = self.fsm
+        if self.flow is not None:
+            where += f"[{self.flow}#{self.step}]"
+        effects = []
+        if self.off:
+            effects.append("off=" + ",".join(sorted(self.off)))
+        if self.halted:
+            effects.append("halted=" + ",".join(sorted(self.halted)))
+        if self.gated:
+            effects.append("gated=" + ",".join(sorted(self.gated)))
+        if effects:
+            where += " {" + " ".join(effects) + "}"
+        return where
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ComposedState {self.describe()}>"
+
+
+#: One outgoing edge: the label the explorer records on witness paths.
+Edge = Tuple[str, ComposedState]
+
+
+@dataclass(frozen=True)
+class BlockedEdge:
+    """An edge that does not exist because a step's requirement failed."""
+
+    label: str
+    missing: Tuple[str, ...]
+
+    def describe(self) -> str:
+        return (
+            f"step {self.label!r} requires power domain(s) "
+            f"{', '.join(sorted(self.missing))} already gated off"
+        )
+
+
+@dataclass
+class TransitionSystem:
+    """The compiled model: everything the explorer and invariants read."""
+
+    initial: ComposedState
+    active: str
+    state_names: Tuple[str, ...]
+    transitions: Dict[str, Tuple[str, ...]]
+    flows: Dict[str, FlowView]
+    flow_for_state: Dict[str, str]
+    idle_states: Tuple[str, ...]
+    clock_requirements: Tuple[Tuple[str, str], ...] = ()
+    wake_sources: Tuple[str, ...] = ()
+    #: Flows that matched no FSM state (never executed; reported C102).
+    detached_flows: Tuple[str, ...] = ()
+    _step_lists: Dict[str, Tuple[object, ...]] = field(default_factory=dict)
+
+    def steps_of(self, flow_name: str) -> Tuple[object, ...]:
+        return self._step_lists[flow_name]
+
+    def successors(self, state: ComposedState) -> Tuple[List[Edge], List[BlockedEdge]]:
+        """Outgoing edges of ``state`` plus the edges a requirement blocked."""
+        edges: List[Edge] = []
+        blocked: List[BlockedEdge] = []
+        if state.flow is not None:
+            steps = self.steps_of(state.flow)
+            next_index = state.step + 1
+            if next_index < len(steps):
+                self._try_step(state, state.fsm, state.flow, next_index, edges, blocked)
+                return edges, blocked
+            # flow complete: fall through to the hosting state's FSM edges
+        for target in self.transitions.get(state.fsm, ()):
+            self._enter(state, target, edges, blocked)
+        return edges, blocked
+
+    # --- internals -----------------------------------------------------------
+
+    def _enter(
+        self,
+        state: ComposedState,
+        target: str,
+        edges: List[Edge],
+        blocked: List[BlockedEdge],
+    ) -> None:
+        flow_name = self.flow_for_state.get(target)
+        if flow_name is not None and self.steps_of(flow_name):
+            self._try_step(state, target, flow_name, 0, edges, blocked)
+            return
+        edges.append(
+            (
+                f"{state.fsm}->{target}",
+                ComposedState(target, None, -1, state.off, state.halted, state.gated),
+            )
+        )
+
+    def _try_step(
+        self,
+        state: ComposedState,
+        fsm: str,
+        flow_name: str,
+        index: int,
+        edges: List[Edge],
+        blocked: List[BlockedEdge],
+    ) -> None:
+        step = self.steps_of(flow_name)[index]
+        label = getattr(step, "label", f"{flow_name}#{index}")
+        missing = tuple(
+            sorted(name for name in getattr(step, "requires", ()) if name in state.off)
+        )
+        if missing:
+            blocked.append(BlockedEdge(label=label, missing=missing))
+            return
+        edges.append((label, _apply_step(state, fsm, flow_name, index, step)))
+
+
+def _apply_step(
+    state: ComposedState, fsm: str, flow_name: str, index: int, step: object
+) -> ComposedState:
+    off = set(state.off)
+    halted = set(state.halted)
+    gated = set(state.gated)
+    off.difference_update(getattr(step, "gates_on", ()))
+    off.update(getattr(step, "gates_off", ()))
+    halted.difference_update(getattr(step, "resumes", ()))
+    halted.update(getattr(step, "halts", ()))
+    gated.difference_update(getattr(step, "clocks_on", ()))
+    gated.update(getattr(step, "clocks_off", ()))
+    return ComposedState(
+        fsm, flow_name, index, frozenset(off), frozenset(halted), frozenset(gated)
+    )
+
+
+def _known_clock_names(view: ModelView) -> FrozenSet[str]:
+    names = [crystal.name for crystal in view.crystals]
+    names += [clock.name for clock in view.clocks]
+    names += [clock.name for clock in view.gateable_clocks]
+    return frozenset(names)
+
+
+def compile_transition_system(
+    view: ModelView,
+) -> Tuple[Optional[TransitionSystem], List[Diagnostic]]:
+    """Compile ``view`` into a transition system.
+
+    Returns ``(ts, diagnostics)``.  ``ts`` is None when the view declares
+    no FSM (nothing to check); the diagnostics carry the compile-time
+    binding errors — flow steps naming unknown clocks (C105) and safety
+    declarations naming unknown domains or clocks (C106).
+    """
+    diagnostics: List[Diagnostic] = []
+    fsm = view.fsm
+    if fsm is None:
+        return None, diagnostics
+
+    state_names = tuple(_state_name(state) for state in fsm.states)
+    name_of = {state: _state_name(state) for state in fsm.states}
+    transitions = {
+        name_of.get(source, _state_name(source)): tuple(
+            name_of.get(target, _state_name(target)) for target in targets
+        )
+        for source, targets in fsm.transitions.items()
+    }
+    idle_states = tuple(
+        name_of.get(state, _state_name(state)) for state in fsm.wake_receptive
+    )
+
+    flow_key_of = {_state_flow_key(state): name_of[state] for state in fsm.states}
+    flows = {flow.name: flow for flow in view.flows}
+    flow_for_state: Dict[str, str] = {}
+    detached: List[str] = []
+    for flow in view.flows:
+        host = flow_key_of.get(flow.name)
+        if host is None:
+            detached.append(flow.name)
+        else:
+            flow_for_state[host] = flow.name
+
+    known_clocks = _known_clock_names(view)
+    known_domains = view.registered_domain_names()
+    for flow in view.flows:
+        for step in flow.steps:
+            for attr in ("clocks_off", "clocks_on"):
+                for clock_name in getattr(step, attr, ()):
+                    if known_clocks and clock_name not in known_clocks:
+                        diagnostics.append(
+                            C105_RULE.diagnostic(
+                                f"flow {flow.name!r} step "
+                                f"{getattr(step, 'label', '?')!r} references clock "
+                                f"{clock_name!r}, which does not exist in the "
+                                "clock tree",
+                                obj=f"flow {flow.name}:{getattr(step, 'label', '?')}",
+                                hint="flow specs must name real clock sources; check for renames",
+                            )
+                        )
+    for domain_name, clock_name in view.clock_requirements:
+        if known_domains and domain_name not in known_domains:
+            diagnostics.append(
+                C106_RULE.diagnostic(
+                    f"clock requirement names power domain {domain_name!r}, which "
+                    "does not exist in the power tree",
+                    obj=f"safety clock-requirement {domain_name}",
+                )
+            )
+        if known_clocks and clock_name not in known_clocks:
+            diagnostics.append(
+                C106_RULE.diagnostic(
+                    f"clock requirement for domain {domain_name!r} names clock "
+                    f"{clock_name!r}, which does not exist in the clock tree",
+                    obj=f"safety clock-requirement {domain_name}",
+                )
+            )
+    for source_name in view.wake_sources:
+        if known_domains and source_name not in known_domains:
+            diagnostics.append(
+                C106_RULE.diagnostic(
+                    f"wake source names power domain {source_name!r}, which does "
+                    "not exist in the power tree",
+                    obj=f"safety wake-source {source_name}",
+                )
+            )
+
+    initial = ComposedState(
+        name_of.get(fsm.initial, _state_name(fsm.initial)),
+        None,
+        -1,
+        frozenset(),
+        frozenset(),
+        frozenset(),
+    )
+    ts = TransitionSystem(
+        initial=initial,
+        active=name_of.get(fsm.active, _state_name(fsm.active)),
+        state_names=state_names,
+        transitions=transitions,
+        flows=flows,
+        flow_for_state=flow_for_state,
+        idle_states=idle_states,
+        clock_requirements=view.clock_requirements,
+        wake_sources=view.wake_sources,
+        detached_flows=tuple(detached),
+        _step_lists={name: tuple(flow.steps) for name, flow in flows.items()},
+    )
+    return ts, diagnostics
+
+
+def iter_flow_steps(ts: TransitionSystem) -> Iterable[Tuple[str, str]]:
+    """Every declared ``(flow name, step label)`` pair of the system."""
+    for flow_name, flow in sorted(ts.flows.items()):
+        for index, step in enumerate(flow.steps):
+            yield flow_name, getattr(step, "label", f"{flow_name}#{index}")

@@ -12,6 +12,8 @@ Examples::
     python -m repro battery --battery-wh 50
     python -m repro lint           # static model verifier + source checker
     python -m repro lint --json --select M1 --ignore S405
+    python -m repro check          # exhaustive FSM/flow model checker
+    python -m repro check --json --max-states 1000 --invariants clock-coupling
     python -m repro trace fig2 --out trace.json   # Perfetto-loadable trace
     python -m repro fig2 --trace   # run instrumented, print the span digest
     python -m repro fig6a --cache  # memoized runs + hit/miss stats
@@ -323,6 +325,84 @@ def _default_lint_root() -> str:
     return str(default_source_root())
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Exhaustive model check + interprocedural unit dataflow (C-series).
+
+    Explores every reachable composed state of the shipped Skylake
+    platform in its two extreme configurations (baseline DRIPS and full
+    ODRIPS), checks the power-safety invariants in each state, then runs
+    the unit-dataflow pass over the sources.  Exit 0 when clean, 1 on
+    findings, 2 on usage errors — the same contract as ``repro lint``.
+    """
+    import json as json_mod
+
+    from repro import check as check_mod
+    from repro import lint as lint_mod
+    from repro.errors import ConfigError
+
+    select = [token for entry in args.select for token in entry.split(",") if token]
+    ignore = [token for entry in args.ignore for token in entry.split(",") if token]
+    try:
+        lint_mod.validate_rule_patterns(select + ignore, lint_mod.all_rules())
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return lint_mod.EXIT_USAGE
+
+    invariant_names = None
+    if args.invariants:
+        invariant_names = tuple(
+            token for entry in args.invariants for token in entry.split(",") if token
+        )
+    try:
+        check_mod.select_invariants(invariant_names)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return lint_mod.EXIT_USAGE
+    if args.max_states <= 0:
+        print("error: --max-states must be positive", file=sys.stderr)
+        return lint_mod.EXIT_USAGE
+
+    diagnostics = []
+    state_space: Dict[str, object] = {}
+    for label, techniques in (
+        ("baseline", TechniqueSet.baseline()),
+        ("odrips", TechniqueSet.odrips()),
+    ):
+        report = check_mod.check_standby_model(
+            techniques=techniques,
+            invariant_names=invariant_names,
+            max_states=args.max_states,
+        )
+        diagnostics.extend(report.diagnostics)
+        state_space[label] = report.state_space
+
+    paths = args.path or [_default_lint_root()]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        for path in missing:
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+        return lint_mod.EXIT_USAGE
+    diagnostics.extend(check_mod.analyze_paths(paths))
+
+    diagnostics = lint_mod.filter_diagnostics(
+        lint_mod.dedupe_diagnostics(diagnostics), select=select, ignore=ignore
+    )
+    if args.json:
+        payload = json_mod.loads(lint_mod.render_json(diagnostics))
+        payload["state_space"] = state_space
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(lint_mod.render_text(diagnostics))
+        for label in sorted(state_space):
+            summary = state_space[label]
+            print(
+                f"state space [{label}]: {summary['states_explored']} state(s), "
+                f"{summary['transitions_taken']} transition(s)"
+                + (" [truncated]" if summary["truncated"] else "")
+            )
+    return lint_mod.exit_code(diagnostics)
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig1b": cmd_fig1b,
     "fig2": cmd_fig2,
@@ -347,10 +427,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all", "lint", "report", "trace"],
+        choices=sorted(COMMANDS) + ["all", "check", "lint", "report", "trace"],
         help="which paper experiment to run ('lint' for static analysis, "
-             "'trace' for an observed run with Perfetto export, 'report' "
-             "for the golden-number regression watchdog)",
+             "'check' for the exhaustive model checker, 'trace' for an "
+             "observed run with Perfetto export, 'report' for the "
+             "golden-number regression watchdog)",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -416,6 +497,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--path", action="append", default=[], metavar="PATH",
         help="lint: source files/directories to check (default: the repro package)",
     )
+    check_group = parser.add_argument_group("check options")
+    check_group.add_argument(
+        "--max-states", type=int, default=100_000, metavar="N",
+        help="check: bound on explored composed states (default 100000)",
+    )
+    check_group.add_argument(
+        "--invariants", action="append", default=[], metavar="NAMES",
+        help="check: only evaluate these invariants (comma-separated names; "
+             "default: all builtins)",
+    )
     report_group = parser.add_argument_group("report options")
     report_group.add_argument(
         "--baseline", metavar="FILE", default=None,
@@ -436,6 +527,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "lint":
         return cmd_lint(args)
+    if args.experiment == "check":
+        return cmd_check(args)
     if args.experiment == "report":
         from repro.regress.report import cmd_report
 

@@ -48,13 +48,24 @@ from repro.lint.source import lint_file, lint_paths, lint_source_text
 
 
 def all_rules():
-    """Every known rule as ``(rule_id, name)`` pairs, catalog order."""
+    """Every known rule as ``(rule_id, name)`` pairs, catalog order.
+
+    This is the single registry: the ``M``/``S`` series of the lint
+    passes, the pragma-hygiene rule (S407), and the ``C`` series of the
+    exhaustive model checker (:mod:`repro.check`).  Both ``repro lint``
+    and ``repro check`` validate ``--select``/``--ignore`` patterns
+    against it, and the gate tests assert the ids are unique.
+    """
+    from repro.check.rules import CHECK_RULES
     from repro.lint.rules_model import MODEL_RULES
     from repro.lint.rules_source import SOURCE_RULES
+    from repro.lint.source import S407_NAME, S407_RULE
 
     pairs = [(rule.rule_id, rule.name) for rule in MODEL_RULES]
     pairs.append((M307_RULE, M307_NAME))
     pairs.extend((rule.rule_id, rule.name) for rule in SOURCE_RULES)
+    pairs.append((S407_RULE, S407_NAME))
+    pairs.extend((rule.rule_id, rule.name) for rule in CHECK_RULES)
     return pairs
 
 

@@ -87,6 +87,13 @@ class ModelView:
     #: empty dict means the platform is instrumented but declared nothing,
     #: which the span-discipline rule flags.
     obs_spans: Optional[Dict[str, Tuple[str, ...]]] = None
+    #: Declared (domain, clock) couplings from ``safety_description()``:
+    #: the clock each live domain depends on.  Consumed by the exhaustive
+    #: model checker (:mod:`repro.check`), not by the lint rules.
+    clock_requirements: Tuple[Tuple[str, str], ...] = ()
+    #: Domains declared able to field a wake event while the platform
+    #: idles (``safety_description()`` hook).
+    wake_sources: Tuple[str, ...] = ()
 
     # --- derived views used by several rules -----------------------------
 
@@ -166,6 +173,7 @@ def walk_model(root: Any) -> ModelView:
     view.fsm = _fsm_view_of(root)
     view.flows = _flow_views_of(root)
     view.obs_spans = _obs_spans_of(root)
+    view.clock_requirements, view.wake_sources = _safety_of(root)
     return view
 
 
@@ -208,6 +216,19 @@ def _obs_spans_of(root: Any) -> Optional[Dict[str, Tuple[str, ...]]]:
         name: tuple(labels)
         for name, labels in spec.get("flow_span_labels", {}).items()
     }
+
+
+def _safety_of(root: Any) -> Tuple[Tuple[Tuple[str, str], ...], Tuple[str, ...]]:
+    """Read the platform's declared safety couplings (repro.check hook)."""
+    describe = getattr(root, "safety_description", None)
+    if describe is None:
+        return (), ()
+    spec = describe()
+    requirements = tuple(
+        (str(domain), str(clock))
+        for domain, clock in spec.get("clock_requirements", ())
+    )
+    return requirements, tuple(str(name) for name in spec.get("wake_sources", ()))
 
 
 def lint_model_view(view: ModelView) -> List[Diagnostic]:

@@ -30,6 +30,10 @@ from repro.lint.diagnostics import Diagnostic, Location, Severity, sort_diagnost
 
 PathLike = Union[str, os.PathLike]
 
+#: Identity of the pragma-hygiene rule (registered alongside S401-S406).
+S407_RULE = "S407"
+S407_NAME = "unknown-pragma-rule"
+
 
 def default_source_root() -> Path:
     """The installed ``repro`` package directory (what the CLI lints)."""
@@ -79,6 +83,77 @@ def _allow_pragmas(source: str) -> Dict[int, Set[str]]:
     return allows
 
 
+def _expand_over_statements(
+    tree: ast.AST, allows: Dict[int, Set[str]]
+) -> Dict[int, Set[str]]:
+    """Spread pragmas across the physical lines of multi-line statements.
+
+    A pragma on a continuation line of a simple statement (a wrapped
+    call, a parenthesized assignment) suppresses findings anywhere in
+    that statement — rules report at the statement or sub-expression
+    line, which need not be the line carrying the comment.  Compound
+    statements (defs, loops, ``if``) do **not** spread: a pragma inside
+    a function body must never blanket the whole function.
+    """
+    expanded = {line: set(rules) for line, rules in allows.items()}
+    if not allows:
+        return expanded
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt) or hasattr(node, "body"):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if end == node.lineno:
+            continue
+        span_rules: Set[str] = set()
+        for line in range(node.lineno, end + 1):
+            span_rules |= allows.get(line, set())
+        if span_rules:
+            for line in range(node.lineno, end + 1):
+                expanded.setdefault(line, set()).update(span_rules)
+    return expanded
+
+
+def allow_map_for(source: str, tree: ast.AST) -> Dict[int, Set[str]]:
+    """The effective line -> allowed-rule-ids map for one parsed module.
+
+    Shared by the source checker and the unit-dataflow pass of
+    :mod:`repro.check.dataflow`, so ``repro lint`` and ``repro check``
+    honor exactly the same pragma.
+    """
+    return _expand_over_statements(tree, _allow_pragmas(source))
+
+
+def _known_rule_ids() -> Set[str]:
+    from repro.lint import all_rules
+
+    return {rule_id for rule_id, _name in all_rules()}
+
+
+def _unknown_pragma_diagnostics(
+    allows: Dict[int, Set[str]], filename: str
+) -> List[Diagnostic]:
+    """S407: a pragma naming a rule id that exists in no catalog.
+
+    A typoed id silently disables nothing — the finding it meant to
+    suppress still fires — so the bad pragma itself is reported.
+    """
+    known = _known_rule_ids()
+    diagnostics = []
+    for line_no in sorted(allows):
+        for rule_id in sorted(allows[line_no] - known):
+            diagnostics.append(
+                Diagnostic(
+                    rule=S407_RULE,
+                    name=S407_NAME,
+                    severity=Severity.WARNING,
+                    message=f"allow pragma names unknown rule {rule_id!r}",
+                    location=Location(file=filename, line=line_no),
+                    hint="see docs/LINT.md and docs/CHECK.md for the rule catalogs",
+                )
+            )
+    return diagnostics
+
+
 def _suppressed(diag: Diagnostic, allows: Dict[int, Set[str]]) -> bool:
     line = diag.location.line
     return line is not None and diag.rule in allows.get(line, ())
@@ -97,12 +172,17 @@ def lint_source_text(source: str, filename: str = "<string>") -> List[Diagnostic
         tree = ast.parse(source, filename=filename)
     except SyntaxError as error:
         return [_syntax_diagnostic(filename, error)]
-    allows = _allow_pragmas(source)
+    allows = allow_map_for(source, tree)
     diagnostics: List[Diagnostic] = []
     for rule in SOURCE_RULES:
         diagnostics.extend(
             diag for diag in rule.check(tree, filename) if not _suppressed(diag, allows)
         )
+    diagnostics.extend(
+        diag
+        for diag in _unknown_pragma_diagnostics(_allow_pragmas(source), filename)
+        if not _suppressed(diag, allows)
+    )
     return sort_diagnostics(diagnostics)
 
 

@@ -87,6 +87,14 @@ BENCH_POLICIES: Tuple[BenchPolicy, ...] = (
         "tracer_overhead_fig2", "enabled_overhead_frac", "ceiling", 0.25,
         "observing a run must stay cheap enough to leave enabled",
     ),
+    BenchPolicy(
+        "check_fig2_statespace", "cold_wall_s", "ceiling", 5.0,
+        "the exhaustive model check gates every commit and must stay interactive",
+    ),
+    BenchPolicy(
+        "check_fig2_statespace", "speedup", "floor", 10.0,
+        "a fingerprint-cached model check must skip the exploration",
+    ),
 )
 
 

@@ -36,22 +36,33 @@ class FlowStepSpec:
     power-gates or restores.  The static model verifier checks that every
     named domain exists and that no step runs against a domain an
     earlier step already gated off.
+
+    The remaining fields drive the exhaustive model checker
+    (:mod:`repro.check`): ``clocks_off``/``clocks_on`` name clock sources
+    the step gates or restores, and ``halts``/``resumes`` name domains
+    the step quiesces or brings back to execution.  A domain that is
+    powered and not halted is *live*; the checker's clock-coupling
+    invariant demands that a live domain's clock source is never gated.
     """
 
     label: str
     requires: Tuple[str, ...] = ()
     gates_off: Tuple[str, ...] = ()
     gates_on: Tuple[str, ...] = ()
+    clocks_off: Tuple[str, ...] = ()
+    clocks_on: Tuple[str, ...] = ()
+    halts: Tuple[str, ...] = ()
+    resumes: Tuple[str, ...] = ()
 
 
 #: Declarative mirror of :meth:`FlowController._entry_flow` (Sec. 2.2
 #: order with the ODRIPS insertions); labels match the ``_step`` calls.
 ENTRY_FLOW_SPEC: Tuple[FlowStepSpec, ...] = (
-    FlowStepSpec("entry:compute-quiesce", requires=("proc.compute",)),
+    FlowStepSpec("entry:compute-quiesce", requires=("proc.compute",), halts=("proc.compute",)),
     FlowStepSpec("entry:llc-flush", requires=("memory",)),
     FlowStepSpec("entry:context-save", requires=("memory",)),
     FlowStepSpec("entry:dram-self-refresh", requires=("memory",)),
-    FlowStepSpec("entry:clock-shutdown"),
+    FlowStepSpec("entry:clock-shutdown", clocks_off=("clk-24mhz",)),
     FlowStepSpec("entry:io-handoff", requires=("proc.aon_io",), gates_off=("proc.aon_io",)),
     FlowStepSpec("entry:drips", gates_off=("proc.compute",)),
 )
@@ -59,11 +70,11 @@ ENTRY_FLOW_SPEC: Tuple[FlowStepSpec, ...] = (
 #: Declarative mirror of :meth:`FlowController._exit_flow`.
 EXIT_FLOW_SPEC: Tuple[FlowStepSpec, ...] = (
     FlowStepSpec("exit:wake"),
-    FlowStepSpec("exit:xtal-restart"),
+    FlowStepSpec("exit:xtal-restart", clocks_on=("clk-24mhz",)),
     FlowStepSpec("exit:io-restore", gates_on=("proc.aon_io",)),
     FlowStepSpec("exit:context-restore", requires=("memory",)),
     FlowStepSpec("exit:vr-ramp", gates_on=("proc.compute",)),
-    FlowStepSpec("exit:active", requires=("proc.compute",)),
+    FlowStepSpec("exit:active", requires=("proc.compute",), resumes=("proc.compute",)),
 )
 
 #: Span labels each instrumented flow opens (and closes) through

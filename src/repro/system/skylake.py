@@ -457,6 +457,15 @@ class SkylakePlatform:
             }
         }
 
+    def safety_description(self) -> Dict[str, object]:
+        """Declared safety couplings, for the model checker (repro.check)."""
+        from repro.system.states import CLOCK_REQUIREMENTS, WAKE_SOURCE_DOMAINS
+
+        return {
+            "clock_requirements": tuple(CLOCK_REQUIREMENTS),
+            "wake_sources": tuple(WAKE_SOURCE_DOMAINS),
+        }
+
     # ------------------------------------------------------------------ queries
 
     def platform_power(self) -> float:

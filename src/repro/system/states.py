@@ -66,3 +66,24 @@ FSM_TRANSITIONS = {
 FSM_WAKE_RECEPTIVE = {
     PlatformState.DRIPS: frozenset(WakeEventType),
 }
+
+
+# --- declared safety couplings (hook for repro.check) ------------------------
+#
+# The exhaustive model checker composes the FSM with the flow specs and
+# verifies these couplings in every reachable state; keep them in sync
+# with the platform builder when renaming domains or clocks.
+
+#: Clock source each *live* (powered and un-quiesced) domain depends on.
+#: A flow that gates the clock while the domain still executes — or
+#: resumes the domain before restoring the clock — is the AgileWatts
+#: class of idle-sequencing bug the checker's C201 invariant catches.
+CLOCK_REQUIREMENTS = (
+    ("proc.compute", "clk-24mhz"),   # cores/uncore execute off the fast clock
+    ("pch.aon", "clk-32khz"),        # wake hub + dual timer tick on the RTC
+)
+
+#: Domains able to field a wake event while the platform idles.  At
+#: least one must stay powered in every idle state, or a wake is lost
+#: and the platform never exits DRIPS (C204).
+WAKE_SOURCE_DOMAINS = ("proc.pmu", "pch.aon")

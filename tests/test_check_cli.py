@@ -1,0 +1,116 @@
+"""End-to-end tests of ``python -m repro check`` (via cli.main)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint.diagnostics import EXIT_CLEAN, EXIT_DIAGNOSTICS, EXIT_USAGE
+
+
+@pytest.fixture
+def clean_module(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text("def run(duration_ps: int) -> int:\n    return duration_ps\n")
+    return str(path)
+
+
+@pytest.fixture
+def dirty_module(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(
+        "def heat(energy_joules):\n"
+        "    return energy_joules\n"
+        "def run(idle_power_watts):\n"
+        "    total = idle_power_watts + run.window_ps\n"
+        "    return heat(idle_power_watts)\n"
+    )
+    return str(path)
+
+
+def test_clean_run_exits_zero_and_prints_the_state_space(capsys, clean_module):
+    assert main(["check", "--path", clean_module]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "no problems found" in out
+    assert "state space [baseline]" in out
+    assert "state space [odrips]" in out
+
+
+def test_findings_exit_one_with_readable_text(capsys, dirty_module):
+    assert main(["check", "--path", dirty_module]) == EXIT_DIAGNOSTICS
+    out = capsys.readouterr().out
+    assert "C401" in out and "C403" in out
+    assert "dirty.py" in out
+
+
+def test_json_output_carries_the_state_space_summary(capsys, dirty_module):
+    assert main(["check", "--json", "--path", dirty_module]) == EXIT_DIAGNOSTICS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert {"C401", "C403"} <= {d["rule"] for d in payload["diagnostics"]}
+    for label in ("baseline", "odrips"):
+        summary = payload["state_space"][label]
+        assert summary["states_explored"] > 0
+        assert summary["truncated"] is False
+        assert summary["diagnostics"] == 0  # the shipped model itself is clean
+        assert "entry:clock-shutdown" in summary["steps_executed"]
+
+
+def test_select_narrows_to_the_check_family(capsys, dirty_module):
+    code = main(["check", "--json", "--select", "C401", "--path", dirty_module])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == EXIT_DIAGNOSTICS
+    assert {d["rule"] for d in payload["diagnostics"]} == {"C401"}
+
+
+def test_ignore_suppresses_the_findings(capsys, dirty_module):
+    assert main(["check", "--ignore", "C4", "--path", dirty_module]) == EXIT_CLEAN
+
+
+def test_check_rules_are_valid_select_patterns(capsys, clean_module):
+    """Satellite of the shared registry: C-series ids validate like any
+    other rule pattern instead of being rejected as unknown."""
+    for pattern in ("C101", "C2", "deadlock", "call-unit-mismatch"):
+        assert main(["check", "--select", pattern, "--path", clean_module]) == EXIT_CLEAN
+    assert main(["lint", "--ignore", "C101", "--path", clean_module]) == EXIT_CLEAN
+
+
+def test_unknown_rule_is_a_usage_error(capsys, clean_module):
+    assert main(["check", "--select", "Z999", "--path", clean_module]) == EXIT_USAGE
+    assert "Z999" in capsys.readouterr().err
+
+
+def test_unknown_invariant_is_a_usage_error(capsys, clean_module):
+    code = main(["check", "--invariants", "nope", "--path", clean_module])
+    assert code == EXIT_USAGE
+    assert "nope" in capsys.readouterr().err
+
+
+def test_invariant_selection_reaches_the_explorer(capsys, clean_module):
+    code = main([
+        "check", "--json", "--invariants", "clock-coupling,wake-armed",
+        "--path", clean_module,
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == EXIT_CLEAN
+    assert payload["state_space"]["odrips"]["invariants_checked"] == [
+        "clock-coupling", "wake-armed",
+    ]
+
+
+def test_nonpositive_max_states_is_a_usage_error(capsys, clean_module):
+    assert main(["check", "--max-states", "0", "--path", clean_module]) == EXIT_USAGE
+
+
+def test_tiny_max_states_truncates_with_a_warning(capsys, clean_module):
+    code = main(["check", "--max-states", "3", "--path", clean_module])
+    out = capsys.readouterr().out
+    assert code == EXIT_DIAGNOSTICS
+    assert "C104" in out
+    assert "[truncated]" in out
+
+
+def test_missing_path_is_a_usage_error_not_a_traceback(capsys):
+    assert main(["check", "--path", "/does/not/exist.py"]) == EXIT_USAGE

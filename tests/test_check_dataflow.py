@@ -1,0 +1,217 @@
+"""Interprocedural unit-dataflow analysis (repro.check.dataflow)."""
+
+from __future__ import annotations
+
+from repro.check.dataflow import UnitDataflow, analyze_sources, unit_of_name
+
+
+def rules_of(diagnostics):
+    return [diag.rule for diag in diagnostics]
+
+
+# --- unit tagging ------------------------------------------------------------
+
+
+def test_unit_tags_come_from_snake_case_suffixes():
+    assert unit_of_name("flush_latency_ps") == "ps"
+    assert unit_of_name("idle_power_watts") == "watts"
+    assert unit_of_name("entry_power_w") == "watts"  # _w is canonical watts
+    assert unit_of_name("budget_mw") == "milliwatts"  # but _mw is a different scale
+    assert unit_of_name("energy_mj") == "millijoules"
+    assert unit_of_name("wake_delay_s") == "s"
+
+
+def test_bare_and_rate_names_carry_no_tag():
+    assert unit_of_name("s") is None           # no snake_case suffix
+    assert unit_of_name("ps") is None
+    assert unit_of_name("elapsed") is None
+    assert unit_of_name("bandwidth_bytes_per_s") is None  # a rate, not seconds
+    assert unit_of_name(None) is None
+
+
+# --- C401: call-boundary mismatches ------------------------------------------
+
+
+def test_positional_argument_unit_mismatch_is_c401():
+    diagnostics = analyze_sources({
+        "m.py": (
+            "def heat(energy_joules):\n"
+            "    return energy_joules\n"
+            "def run(idle_power_watts):\n"
+            "    return heat(idle_power_watts)\n"
+        )
+    })
+    assert rules_of(diagnostics) == ["C401"]
+    assert "energy_joules" in diagnostics[0].message
+    assert "watts" in diagnostics[0].message
+
+
+def test_keyword_argument_unit_mismatch_is_c401():
+    diagnostics = analyze_sources({
+        "m.py": "def f(x):\n    g(budget_ps=x.delay_s)\n"
+    })
+    assert rules_of(diagnostics) == ["C401"]
+
+
+def test_matching_units_across_a_call_are_clean():
+    diagnostics = analyze_sources({
+        "m.py": (
+            "def wait(duration_ps):\n"
+            "    return duration_ps\n"
+            "def run(latency_ps):\n"
+            "    return wait(latency_ps)\n"
+        )
+    })
+    assert diagnostics == []
+
+
+def test_conflicting_overloads_disable_the_call_check():
+    """Two same-named defs that disagree on a param's unit -> no verdict."""
+    diagnostics = analyze_sources({
+        "a.py": "def wait(duration_ps):\n    return duration_ps\n",
+        "b.py": "def wait(duration_s):\n    return duration_s\n",
+        "c.py": "def run(x_ps):\n    return wait(x_ps)\n",
+    })
+    assert diagnostics == []
+
+
+def test_cross_module_call_sites_are_checked():
+    """The whole program is one analysis unit: defs and calls may be in
+    different files."""
+    diagnostics = analyze_sources({
+        "defs.py": "def settle(window_ps):\n    return window_ps\n",
+        "use.py": "def run(span_s):\n    return settle(span_s)\n",
+    })
+    assert rules_of(diagnostics) == ["C401"]
+
+
+# --- C402: return-unit mismatches (the interprocedural fixpoint) -------------
+
+
+def test_return_unit_propagates_through_the_call_graph():
+    """exit_latency_ps -> latency -> edge_wait_s: two hops of inference."""
+    diagnostics = analyze_sources({
+        "m.py": (
+            "def edge_wait_s():\n"
+            "    return 1.5\n"
+            "def latency():\n"
+            "    return edge_wait_s()\n"
+            "def exit_latency_ps():\n"
+            "    return latency()\n"
+        )
+    })
+    assert rules_of(diagnostics) == ["C402"]
+    assert "exit_latency_ps" in diagnostics[0].message
+
+
+def test_sanitizers_preserve_the_unit_tag():
+    diagnostics = analyze_sources({
+        "m.py": (
+            "def wake_s():\n"
+            "    return 2.0\n"
+            "def budget_ps():\n"
+            "    return round(wake_s())\n"
+        )
+    })
+    assert rules_of(diagnostics) == ["C402"]
+
+
+def test_division_launders_the_tag():
+    """Unit conversions are mult/div expressions; they must stay silent."""
+    diagnostics = analyze_sources({
+        "m.py": (
+            "def last_entry_s(latency_ps):\n"
+            "    return latency_ps / 1e12\n"
+        )
+    })
+    assert diagnostics == []
+
+
+def test_generators_are_exempt_from_return_checks():
+    diagnostics = analyze_sources({
+        "m.py": (
+            "def steps_ps(delay_s):\n"
+            "    yield delay_s\n"
+            "    return\n"
+        )
+    })
+    assert diagnostics == []
+
+
+# --- C403: additive mixes ----------------------------------------------------
+
+
+def test_adding_ps_to_seconds_is_c403():
+    diagnostics = analyze_sources({
+        "m.py": "def f(x):\n    return x.entry_latency_ps + x.exit_latency_s\n"
+    })
+    assert rules_of(diagnostics) == ["C403"]
+
+
+def test_subtracting_same_units_is_clean():
+    diagnostics = analyze_sources({
+        "m.py": "def f(x):\n    return x.end_ps - x.start_ps\n"
+    })
+    assert diagnostics == []
+
+
+def test_unitless_offsets_are_allowed():
+    diagnostics = analyze_sources({
+        "m.py": "def f(x, slack):\n    return x.deadline_ps + slack\n"
+    })
+    assert diagnostics == []
+
+
+def test_milliwatts_plus_watts_is_c403():
+    diagnostics = analyze_sources({
+        "m.py": "def f(x):\n    return x.soc_power_mw + x.board_power_watts\n"
+    })
+    assert rules_of(diagnostics) == ["C403"]
+
+
+# --- pragma compatibility ----------------------------------------------------
+
+
+def test_allow_pragma_suppresses_a_dataflow_finding():
+    diagnostics = analyze_sources({
+        "m.py": (
+            "def f(x):\n"
+            "    return x.a_ps + x.b_s  # lint: allow(C403)\n"
+        )
+    })
+    assert diagnostics == []
+
+
+def test_pragma_on_a_continuation_line_suppresses_too():
+    diagnostics = analyze_sources({
+        "m.py": (
+            "def f(x):\n"
+            "    return (x.a_ps\n"
+            "            + x.b_s)  # lint: allow(C403)\n"
+        )
+    })
+    assert diagnostics == []
+
+
+def test_pragma_for_a_different_rule_does_not_suppress():
+    diagnostics = analyze_sources({
+        "m.py": "def f(x):\n    return x.a_ps + x.b_s  # lint: allow(C401)\n"
+    })
+    assert rules_of(diagnostics) == ["C403"]
+
+
+# --- robustness --------------------------------------------------------------
+
+
+def test_syntax_errors_are_skipped_not_raised():
+    diagnostics = analyze_sources({"bad.py": "def f(:\n", "ok.py": "x = 1\n"})
+    assert diagnostics == []
+
+
+def test_fixpoint_terminates_on_recursion():
+    flow = UnitDataflow()
+    flow.add_source(
+        "def a():\n    return b()\ndef b():\n    return a()\n", "m.py"
+    )
+    flow.solve()
+    assert flow.check() == []

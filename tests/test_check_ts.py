@@ -1,0 +1,160 @@
+"""Transition-system compilation (repro.check.ts)."""
+
+from __future__ import annotations
+
+from repro.check.ts import compile_transition_system, iter_flow_steps
+from repro.core.techniques import TechniqueSet
+from repro.lint.model import walk_model
+from repro.system.flows import ENTRY_FLOW_SPEC, EXIT_FLOW_SPEC, FlowStepSpec
+from repro.system.skylake import SkylakePlatform
+
+
+def odrips_view():
+    return walk_model(SkylakePlatform(techniques=TechniqueSet.odrips()))
+
+
+class TinyModel:
+    """Minimal duck-typed platform: just the introspection hooks."""
+
+    def __init__(self, transitions, initial="BOOT", active="ACTIVE",
+                 flows=None, wake_receptive=(), safety=None):
+        states = sorted({initial, active}
+                        | set(transitions)
+                        | {t for targets in transitions.values() for t in targets})
+        self._spec = {
+            "states": states,
+            "initial": initial,
+            "active": active,
+            "transitions": transitions,
+            "wake_receptive": {state: frozenset() for state in wake_receptive},
+            "wake_event_types": (),
+        }
+        self._flows = flows or {}
+        self._safety = safety
+
+    def fsm_description(self):
+        return self._spec
+
+    def flow_descriptions(self):
+        return self._flows
+
+    def safety_description(self):
+        if self._safety is None:
+            return {}
+        return self._safety
+
+
+def test_shipped_platform_compiles_without_diagnostics():
+    ts, diagnostics = compile_transition_system(odrips_view())
+    assert diagnostics == []
+    assert ts is not None
+    assert ts.active == "ACTIVE"
+    assert ts.flow_for_state == {"ENTRY": "entry", "EXIT": "exit"}
+    assert ts.detached_flows == ()
+    assert ts.idle_states == ("DRIPS",)
+    assert dict(ts.clock_requirements) == {
+        "proc.compute": "clk-24mhz",
+        "pch.aon": "clk-32khz",
+    }
+    assert set(ts.wake_sources) == {"proc.pmu", "pch.aon"}
+
+
+def test_every_declared_step_is_enumerated():
+    ts, _ = compile_transition_system(odrips_view())
+    labels = {label for _flow, label in iter_flow_steps(ts)}
+    assert {spec.label for spec in ENTRY_FLOW_SPEC} <= labels
+    assert {spec.label for spec in EXIT_FLOW_SPEC} <= labels
+
+
+def test_entering_a_flow_state_executes_step_zero():
+    ts, _ = compile_transition_system(odrips_view())
+    # BOOT -> ACTIVE (no flow attached to ACTIVE)
+    edges, blocked = ts.successors(ts.initial)
+    assert blocked == []
+    assert [label for label, _ in edges] == ["BOOT->ACTIVE"]
+    active = edges[0][1]
+    # ACTIVE -> ENTRY executes the entry flow's first step immediately
+    edges, _ = ts.successors(active)
+    assert [label for label, _ in edges] == ["entry:compute-quiesce"]
+    state = edges[0][1]
+    assert state.fsm == "ENTRY" and state.flow == "entry" and state.step == 0
+    assert state.halted == frozenset({"proc.compute"})
+
+
+def test_step_effects_accumulate_and_reverse():
+    ts, _ = compile_transition_system(odrips_view())
+    state = ts.initial
+    visits = 0
+    # Walk one full cycle deterministically (the system is a single path:
+    # BOOT -> ACTIVE -> entry steps -> DRIPS -> exit steps -> ACTIVE).
+    for _ in range(40):
+        edges, _ = ts.successors(state)
+        assert edges, f"unexpected dead end at {state.describe()}"
+        _, state = edges[0]
+        if state.fsm == "ACTIVE":
+            visits += 1
+            if visits == 2:
+                break
+    # the walk closed the cycle: back in ACTIVE with a balanced ledger
+    assert visits == 2
+    assert state.off == frozenset()
+    assert state.halted == frozenset()
+    assert state.gated == frozenset()
+
+
+def test_unknown_clock_in_flow_is_c105():
+    view = odrips_view()
+    for flow in view.flows:
+        if flow.name == "entry":
+            steps = list(flow.steps)
+            steps[4] = FlowStepSpec("entry:clock-shutdown", clocks_off=("clk-48mhz",))
+            object.__setattr__(flow, "steps", tuple(steps))
+    _, diagnostics = compile_transition_system(view)
+    assert [d.rule for d in diagnostics] == ["C105"]
+    assert "clk-48mhz" in diagnostics[0].message
+
+
+def test_unknown_safety_references_are_c106():
+    view = odrips_view()
+    view.clock_requirements = (("proc.nope", "clk-24mhz"), ("proc.compute", "clk-nope"))
+    view.wake_sources = ("board.nope",)
+    _, diagnostics = compile_transition_system(view)
+    assert [d.rule for d in diagnostics] == ["C106", "C106", "C106"]
+
+
+def test_view_without_fsm_compiles_to_nothing():
+    class Bare:
+        pass
+
+    ts, diagnostics = compile_transition_system(walk_model(Bare()))
+    assert ts is None and diagnostics == []
+
+
+def test_detached_flow_is_recorded():
+    model = TinyModel(
+        {"BOOT": ("ACTIVE",), "ACTIVE": ("BOOT",)},
+        flows={"orphan": (FlowStepSpec("orphan:step"),)},
+    )
+    ts, diagnostics = compile_transition_system(walk_model(model))
+    assert diagnostics == []
+    assert ts.detached_flows == ("orphan",)
+
+
+def test_blocked_requirement_produces_no_edge():
+    model = TinyModel(
+        {"BOOT": ("ENTRY",), "ENTRY": ("ACTIVE",)},
+        flows={
+            "entry": (
+                FlowStepSpec("entry:kill", gates_off=("dom.a",)),
+                FlowStepSpec("entry:use", requires=("dom.a",)),
+            )
+        },
+    )
+    ts, _ = compile_transition_system(walk_model(model))
+    edges, _ = ts.successors(ts.initial)
+    (_, step0), = edges
+    edges, blocked = ts.successors(step0)
+    assert edges == []
+    assert len(blocked) == 1
+    assert blocked[0].missing == ("dom.a",)
+    assert "entry:use" in blocked[0].describe()

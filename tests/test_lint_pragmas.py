@@ -1,0 +1,93 @@
+"""Edge cases of the ``lint: allow`` suppression pragma.
+
+The pragma is shared by the source checker (``repro lint``) and the
+unit-dataflow pass (``repro check``); these tests pin down its exact
+semantics: per-line, per-rule, continuation-line aware, and noisy about
+rule ids that do not exist (S407).
+"""
+
+from __future__ import annotations
+
+from repro.lint import lint_source_text
+
+
+def rules_of(diagnostics):
+    return [diag.rule for diag in diagnostics]
+
+
+WALLCLOCK = "import time\nt = time.time()"
+
+
+def test_single_rule_pragma_suppresses_exactly_that_rule():
+    clean = lint_source_text(
+        "import time\nt = time.time()  # lint: allow(S401)\n"
+    )
+    assert clean == []
+
+
+def test_multiple_rules_on_one_line_all_apply():
+    source = (
+        "import time\n"
+        "start_ps = time.time() * 1.5  # lint: allow(S401, S402)\n"
+    )
+    assert lint_source_text(source) == []
+
+
+def test_partial_pragma_leaves_the_other_finding():
+    source = (
+        "import time\n"
+        "start_ps = time.time() * 1.5  # lint: allow(S401)\n"
+    )
+    assert rules_of(lint_source_text(source)) == ["S402"]
+
+
+def test_unknown_rule_name_in_pragma_is_s407():
+    source = "import time\nt = time.time()  # lint: allow(S401, S999)\n"
+    diagnostics = lint_source_text(source)
+    assert rules_of(diagnostics) == ["S407"]
+    assert "S999" in diagnostics[0].message
+    assert diagnostics[0].location.line == 2
+
+
+def test_typoed_pragma_suppresses_nothing():
+    source = "import time\nt = time.time()  # lint: allow(S402)\n"
+    assert rules_of(lint_source_text(source)) == ["S401"]
+
+
+def test_s407_is_itself_suppressible():
+    source = "x = 1  # lint: allow(BOGUS, S407)\n"
+    assert lint_source_text(source) == []
+
+
+def test_pragma_on_a_continuation_line_covers_the_statement():
+    """A finding reports at the statement's first line; the pragma may sit
+    on any physical line of the same (simple) statement."""
+    source = (
+        "def f(get):\n"
+        "    start_ps = (get()\n"
+        "                * 1.5)  # lint: allow(S402)\n"
+    )
+    assert lint_source_text(source) == []
+
+
+def test_pragma_on_the_first_line_covers_continuation_findings():
+    source = (
+        "def f(get):\n"
+        "    start_ps = (  # lint: allow(S402)\n"
+        "        get() * 1.5)\n"
+    )
+    assert lint_source_text(source) == []
+
+
+def test_pragma_inside_a_function_does_not_blanket_the_function():
+    """Compound statements must not spread a body pragma over their whole
+    span — only the simple statement carrying it is covered."""
+    source = (
+        "import time\n"
+        "def f():\n"
+        "    a = time.time()  # lint: allow(S401)\n"
+        "    b = time.time()\n"
+    )
+    diagnostics = lint_source_text(source)
+    assert rules_of(diagnostics) == ["S401"]
+    assert diagnostics[0].location.line == 4
