@@ -295,3 +295,67 @@ def test_parallel_sweep_matches_serial(benchmark, emit):
     emit(f"fig6b sweep: serial {serial_s:.2f} s, parallel {parallel_s:.2f} s "
          f"({speedup:.2f}x, {len(serial)} points on {cpu_count} CPU(s), "
          "identical rows)")
+
+
+#: One shared parse must feed every source-analysis pass.  The floor is
+#: deliberately loose (the win is exactly 2x parse work today: dataflow
+#: + effects over one ModuleCache); what CI watches is the recorded
+#: parse count staying equal to the file count.
+MIN_SHARED_PARSE_SPEEDUP = 1.1
+
+
+def test_shared_parse_feeds_both_source_passes(benchmark, emit):
+    """C4xx dataflow + C5xx effects over ONE ModuleCache parse of the tree.
+
+    The check CLI builds a single call graph and hands it to both
+    interprocedural passes; re-parsing per pass (the pre-satellite
+    behavior) costs one full ``ast.parse`` sweep per extra pass.  The
+    bench records the shared parse count (== file count) and the
+    speedup over the naive parse-per-pass pipeline.
+    """
+    from repro.check.callgraph import graph_for_paths
+    from repro.check.dataflow import analyze_graph
+    from repro.check.effects import analyze_effects_graph
+    from repro.lint.astcache import ModuleCache, default_source_root
+
+    root = default_source_root()
+
+    def parse_per_pass():
+        for _ in ("dataflow", "effects"):
+            graph_for_paths([root], cache=ModuleCache())
+
+    t0 = time.perf_counter()
+    parse_per_pass()
+    naive_s = time.perf_counter() - t0
+
+    def shared():
+        cache = ModuleCache()
+        graph = graph_for_paths([root], cache=cache)
+        analyze_graph(graph)
+        analyze_effects_graph(graph)
+        return cache
+
+    cache = run_once(benchmark, shared)
+    shared_s = min(benchmark.stats.stats.data)
+
+    files = len(cache)
+    assert cache.parse_count == files  # every file parsed exactly once
+    t0 = time.perf_counter()
+    graph_for_paths([root], cache=ModuleCache())
+    one_parse_s = time.perf_counter() - t0
+    parse_speedup = naive_s / one_parse_s
+    assert parse_speedup >= MIN_SHARED_PARSE_SPEEDUP
+    _results["check_shared_parse"] = {
+        "wall_s": shared_s,
+        "files": files,
+        "parse_count": cache.parse_count,
+        "parse_per_pass_wall_s": naive_s,
+        "single_parse_wall_s": one_parse_s,
+        "parse_speedup": parse_speedup,
+    }
+    emit(
+        f"check shared parse: {files} files parsed once "
+        f"({one_parse_s * 1e3:.0f} ms) vs once-per-pass "
+        f"({naive_s * 1e3:.0f} ms, {parse_speedup:.1f}x); both passes "
+        f"end-to-end {shared_s * 1e3:.0f} ms"
+    )

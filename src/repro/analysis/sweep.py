@@ -13,6 +13,7 @@ from __future__ import annotations
 import os
 from typing import Callable, Iterable, List, Optional, Tuple, TypeVar
 
+from repro.effects import declares_effects
 from repro.errors import AnalysisError
 from repro.obs.runlog import active_recorder, host_wall_s
 
@@ -38,12 +39,14 @@ class _TimedCall:
     def __init__(self, experiment: Callable[[Value], float]) -> None:
         self.experiment = experiment
 
+    @declares_effects("time", "identity")  # per-point wall time + worker pid
     def __call__(self, value: Value) -> Tuple[float, float, int]:
         start_s = host_wall_s()
         result = self.experiment(value)
         return result, host_wall_s() - start_s, os.getpid()
 
 
+@declares_effects("time", "env")  # fan-out timing + cpu_count worker sizing
 def sweep(
     parameter_values: Iterable[Value],
     experiment: Callable[[Value], float],

@@ -38,9 +38,18 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.lint.diagnostics import Diagnostic, sort_diagnostics
 from repro.lint.model import ModelView, walk_model
 from repro.check.dataflow import analyze_paths, analyze_source_root, analyze_sources
+from repro.check.effects import (
+    EFFECTS_SCHEMA_VERSION,
+    EffectAnalysis,
+    EffectsReport,
+    analyze_effects_paths,
+    analyze_effects_source_root,
+    analyze_effects_sources,
+)
 from repro.check.explore import DEFAULT_MAX_STATES, ExploreResult, explore
 from repro.check.invariants import BUILTIN_INVARIANTS, Invariant, select_invariants
 from repro.check.rules import CHECK_RULES, CheckRule
+from repro.check.schema import validate_check_payload
 from repro.check.ts import ComposedState, TransitionSystem, compile_transition_system
 
 #: Bump when the report layout or rule semantics change incompatibly.
@@ -156,9 +165,15 @@ __all__ = [
     "CheckRule",
     "ComposedState",
     "DEFAULT_MAX_STATES",
+    "EFFECTS_SCHEMA_VERSION",
+    "EffectAnalysis",
+    "EffectsReport",
     "ExploreResult",
     "Invariant",
     "TransitionSystem",
+    "analyze_effects_paths",
+    "analyze_effects_source_root",
+    "analyze_effects_sources",
     "analyze_paths",
     "analyze_source_root",
     "analyze_sources",
@@ -169,5 +184,6 @@ __all__ = [
     "explore",
     "select_invariants",
     "state_space_cache",
+    "validate_check_payload",
     "walk_model",
 ]

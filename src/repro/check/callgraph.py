@@ -1,0 +1,229 @@
+"""Shared call-graph substrate of the interprocedural check passes.
+
+Both whole-program passes of ``repro check`` — the unit dataflow
+(:mod:`repro.check.dataflow`, ``C4xx``) and the effect/determinism
+analysis (:mod:`repro.check.effects`, ``C5xx``) — need the same three
+things: every function definition in the analyzed program, a way to
+resolve a call expression to its candidate definitions, and a fixpoint
+driver that iterates per-function facts around the call graph until
+nothing changes.  This module owns all three, built on the shared
+:class:`~repro.lint.astcache.ParsedModule` cache so each source file is
+parsed once for every pass.
+
+Resolution is deliberately name-based and conservative: a call to
+``x.measure(...)`` resolves to *every* definition named ``measure`` in
+the program.  Passes choose how to merge multiple candidates — the
+unit dataflow requires all definitions to agree, the effect analysis
+unions their effects (an over-approximation is sound for a checker
+that proves *absence* of effects).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.astcache import ModuleCache, ParsedModule
+
+FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def terminal_name(node: ast.expr) -> Optional[str]:
+    """The identifier a Name/Attribute expression ends in, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """The full dotted path of a Name/Attribute chain (``os.environ.get``).
+
+    Returns ``None`` when the chain bottoms out in anything other than a
+    plain name (a call result, a subscript).
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def module_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local alias -> imported dotted name, for both import forms."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = item.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for item in node.names:
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def own_statements(node: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+    stack = list(node.body)
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (*FunctionNode, ast.Lambda, ast.ClassDef)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def own_returns(node: ast.AST) -> Iterable[ast.Return]:
+    for child in own_statements(node):
+        if isinstance(child, ast.Return):
+            yield child
+
+
+def is_generator(node: ast.AST) -> bool:
+    return any(
+        isinstance(child, (ast.Yield, ast.YieldFrom)) for child in own_statements(node)
+    )
+
+
+def decorator_names(node: ast.AST) -> Tuple[str, ...]:
+    """Terminal names of a definition's decorators (``@x.y(...)`` -> ``y``)."""
+    names = []
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = terminal_name(target)
+        if name is not None:
+            names.append(name)
+    return tuple(names)
+
+
+@dataclass(eq=False)
+class FunctionRecord:
+    """One function definition, as the interprocedural passes see it."""
+
+    name: str
+    #: Dotted path inside the module (``Class.method``, ``f.<locals>.g``).
+    qualname: str
+    filename: str
+    node: ast.AST
+    module: ParsedModule
+    #: Positional parameter names, ``self``/``cls`` stripped.
+    params: Tuple[str, ...]
+    decorators: Tuple[str, ...]
+    is_generator: bool
+    #: Enclosing function, when this definition is nested inside one.
+    parent: Optional["FunctionRecord"] = None
+    _callees: Optional[Tuple[str, ...]] = field(default=None, repr=False)
+
+    @property
+    def is_nested(self) -> bool:
+        return self.parent is not None
+
+    def callees(self) -> Tuple[str, ...]:
+        """Bare names this function's own body calls (cached)."""
+        if self._callees is None:
+            names = set()
+            for child in own_statements(self.node):
+                if isinstance(child, ast.Call):
+                    name = terminal_name(child.func)
+                    if name is not None:
+                        names.add(name)
+            self._callees = tuple(sorted(names))
+        return self._callees
+
+
+def _record_functions(
+    module: ParsedModule,
+) -> List[FunctionRecord]:
+    records: List[FunctionRecord] = []
+
+    def visit(node: ast.AST, prefix: str, parent: Optional[FunctionRecord]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, FunctionNode):
+                args = child.args
+                params = tuple(
+                    arg.arg
+                    for arg in [*args.posonlyargs, *args.args]
+                    if arg.arg not in ("self", "cls")
+                )
+                record = FunctionRecord(
+                    name=child.name,
+                    qualname=f"{prefix}{child.name}",
+                    filename=module.filename,
+                    node=child,
+                    module=module,
+                    params=params,
+                    decorators=decorator_names(child),
+                    is_generator=is_generator(child),
+                    parent=parent,
+                )
+                records.append(record)
+                visit(child, f"{record.qualname}.<locals>.", record)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.", parent)
+            else:
+                visit(child, prefix, parent)
+
+    assert module.tree is not None
+    visit(module.tree, "", None)
+    return records
+
+
+class CallGraph:
+    """Function table + name-based call resolution over one program."""
+
+    def __init__(self, modules: Sequence[ParsedModule] = ()) -> None:
+        self.modules: List[ParsedModule] = []
+        self.functions: List[FunctionRecord] = []
+        #: Bare callable name -> every definition carrying it.
+        self.by_name: Dict[str, List[FunctionRecord]] = {}
+        for module in modules:
+            self.add_module(module)
+
+    def add_module(self, module: ParsedModule) -> None:
+        """Index every function of ``module`` (no-op on syntax errors)."""
+        self.modules.append(module)
+        if module.tree is None:
+            return
+        for record in _record_functions(module):
+            self.functions.append(record)
+            self.by_name.setdefault(record.name, []).append(record)
+
+    def resolve(self, name: str) -> List[FunctionRecord]:
+        """Every definition a call to bare ``name`` may reach."""
+        return self.by_name.get(name, [])
+
+    def solve(
+        self,
+        update: Callable[[FunctionRecord], bool],
+        max_rounds: int = 50,
+    ) -> bool:
+        """Iterate ``update`` over every function to a fixpoint.
+
+        ``update`` returns True when it changed the fact it maintains
+        for that function; the loop re-runs all functions until a full
+        round reports no change (or ``max_rounds`` is hit — monotone
+        facts over a finite lattice converge well before that).
+        Returns True when a fixpoint was reached.
+        """
+        for _ in range(max_rounds):
+            changed = False
+            for record in self.functions:
+                if update(record):
+                    changed = True
+            if not changed:
+                return True
+        return False
+
+
+def graph_for_paths(
+    paths: Sequence, cache: Optional[ModuleCache] = None
+) -> CallGraph:
+    """Build a call graph over every ``*.py`` file under ``paths``."""
+    if cache is None:
+        cache = ModuleCache()
+    return CallGraph(cache.modules_for_paths(paths))

@@ -28,22 +28,28 @@ conversions are exactly such expressions), names built around ``_per_``
 are rates and carry no tag, and a call target that resolves to multiple
 definitions only counts when every definition agrees.  Suppression uses
 the same per-line ``lint: allow`` pragma as the source checker, through
-the shared :func:`repro.lint.source.allow_map_for` map.
+the shared :attr:`repro.lint.astcache.ParsedModule.allows` map.
+
+The function table, call resolution and the fixpoint driver live in the
+shared :mod:`repro.check.callgraph` substrate, which the effect pass
+(:mod:`repro.check.effects`) reuses — one parse and one call graph
+serve both passes.
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.lint.astcache import ModuleCache, ParsedModule, PathLike, default_source_root
 from repro.lint.diagnostics import Diagnostic, sort_diagnostics
-from repro.lint.source import (
-    PathLike,
-    _suppressed,
-    allow_map_for,
-    default_source_root,
-    iter_python_files,
+from repro.lint.source import _suppressed
+from repro.check.callgraph import (
+    CallGraph,
+    FunctionRecord,
+    is_generator,
+    own_returns,
+    terminal_name,
 )
 from repro.check.rules import C401_RULE, C402_RULE, C403_RULE
 
@@ -94,94 +100,63 @@ def unit_of_name(name: Optional[str]) -> Optional[str]:
     return _UNIT_TOKENS.get(lowered.rsplit("_", 1)[1])
 
 
-def _terminal_name(node: ast.expr) -> Optional[str]:
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    return None
-
-
-@dataclass
-class FunctionInfo:
-    """One function definition, as the dataflow pass sees it."""
-
-    name: str
-    filename: str
-    node: ast.AST
-    #: Positional parameter names, ``self``/``cls`` stripped.
-    params: Tuple[str, ...]
-    #: Unit declared by the function's own name suffix, if any.
-    declared_return: Optional[str]
-    is_generator: bool
-    #: Return unit settled by the fixpoint (starts at the declaration).
-    return_unit: Optional[str] = None
-
-    def __post_init__(self) -> None:
-        self.return_unit = self.declared_return
-
-
-@dataclass
-class _Module:
-    filename: str
-    tree: ast.Module
-    allows: Dict[int, Set[str]] = field(default_factory=dict)
-
-
 class UnitDataflow:
-    """The whole-program analysis: build, solve, then check."""
+    """The whole-program analysis: build, solve, then check.
 
-    def __init__(self) -> None:
-        self.modules: List[_Module] = []
-        #: Bare callable name -> every definition carrying it.
-        self.table: Dict[str, List[FunctionInfo]] = {}
+    Construct with an existing :class:`~repro.check.callgraph.CallGraph`
+    to share the function table with other passes, or empty and feed it
+    with :meth:`add_source`/:meth:`add_module`.
+    """
+
+    def __init__(self, graph: Optional[CallGraph] = None) -> None:
+        self.graph = graph if graph is not None else CallGraph()
+        self._cache = ModuleCache()
+        #: Return unit settled by the fixpoint (starts at the declaration).
+        self.return_unit: Dict[FunctionRecord, Optional[str]] = {}
+        for record in self.graph.functions:
+            self.return_unit[record] = unit_of_name(record.name)
 
     # --- construction -----------------------------------------------------
 
-    def add_source(self, source: str, filename: str) -> Optional[Diagnostic]:
-        try:
-            tree = ast.parse(source, filename=filename)
-        except SyntaxError:
-            return None  # the source checker already reports S400
-        module = _Module(filename, tree, allow_map_for(source, tree))
-        self.modules.append(module)
-        for node in ast.walk(tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                info = _function_info(node, filename)
-                self.table.setdefault(info.name, []).append(info)
-        return None
+    def add_module(self, module: ParsedModule) -> None:
+        before = len(self.graph.functions)
+        self.graph.add_module(module)
+        for record in self.graph.functions[before:]:
+            self.return_unit[record] = unit_of_name(record.name)
+
+    def add_source(self, source: str, filename: str) -> None:
+        self.add_module(self._cache.module_for_source(source, filename))
 
     # --- fixpoint ---------------------------------------------------------
 
     def solve(self, max_rounds: int = 20) -> None:
         """Propagate return units around the call graph to a fixpoint."""
-        infos = [info for defs in self.table.values() for info in defs]
-        for _ in range(max_rounds):
-            changed = False
-            for info in infos:
-                if info.declared_return is not None or info.is_generator:
+
+        def update(record: FunctionRecord) -> bool:
+            if unit_of_name(record.name) is not None or record.is_generator:
+                return False
+            units = set()
+            definite = True
+            for ret in own_returns(record.node):
+                if ret.value is None:
                     continue
-                units = set()
-                definite = True
-                for ret in _own_returns(info.node):
-                    if ret.value is None:
-                        continue
-                    unit = self.unit_of(ret.value)
-                    if unit is None:
-                        definite = False
-                        break
-                    units.add(unit)
-                new = units.pop() if definite and len(units) == 1 else None
-                if new != info.return_unit:
-                    info.return_unit = new
-                    changed = True
-            if not changed:
-                return
+                unit = self.unit_of(ret.value)
+                if unit is None:
+                    definite = False
+                    break
+                units.add(unit)
+            new = units.pop() if definite and len(units) == 1 else None
+            if new != self.return_unit[record]:
+                self.return_unit[record] = new
+                return True
+            return False
+
+        self.graph.solve(update, max_rounds=max_rounds)
 
     # --- expression units -------------------------------------------------
 
     def call_return_unit(self, node: ast.Call) -> Optional[str]:
-        name = _terminal_name(node.func)
+        name = terminal_name(node.func)
         if name is None:
             return None
         if name in _UNIT_PRESERVING_CALLS:
@@ -192,10 +167,10 @@ class UnitDataflow:
         declared = unit_of_name(name)
         if declared is not None:
             return declared
-        defs = self.table.get(name)
+        defs = self.graph.resolve(name)
         if not defs:
             return None
-        units = {info.return_unit for info in defs}
+        units = {self.return_unit[record] for record in defs}
         if len(units) == 1:
             return units.pop()
         return None
@@ -203,7 +178,7 @@ class UnitDataflow:
     def unit_of(self, node: ast.expr) -> Optional[str]:
         """The unit tag ``node`` provably carries, or None."""
         if isinstance(node, (ast.Name, ast.Attribute)):
-            return unit_of_name(_terminal_name(node))
+            return unit_of_name(terminal_name(node))
         if isinstance(node, ast.Call):
             return self.call_return_unit(node)
         if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
@@ -224,7 +199,9 @@ class UnitDataflow:
 
     def check(self) -> List[Diagnostic]:
         diagnostics: List[Diagnostic] = []
-        for module in self.modules:
+        for module in self.graph.modules:
+            if module.tree is None:
+                continue  # the source checker already reports S400
             found: List[Diagnostic] = []
             for node in ast.walk(module.tree):
                 if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
@@ -252,7 +229,7 @@ class UnitDataflow:
             )
 
     def _check_call(self, node: ast.Call, filename: str) -> Iterable[Diagnostic]:
-        name = _terminal_name(node.func)
+        name = terminal_name(node.func)
         if name is None or name in _UNIT_PRESERVING_CALLS:
             return
         param_units = self._merged_param_units(name)
@@ -288,14 +265,14 @@ class UnitDataflow:
 
     def _merged_param_units(self, name: str) -> Dict[int, Tuple[str, str]]:
         """Positional index -> (param name, unit), where all defs agree."""
-        defs = self.table.get(name)
+        defs = self.graph.resolve(name)
         if not defs:
             return {}
         merged: Dict[int, Tuple[str, str]] = {}
-        width = min(len(info.params) for info in defs)
+        width = min(len(record.params) for record in defs)
         for index in range(width):
-            names = {info.params[index] for info in defs}
-            units = {unit_of_name(info.params[index]) for info in defs}
+            names = {record.params[index] for record in defs}
+            units = {unit_of_name(record.params[index]) for record in defs}
             if len(units) == 1 and len(names) == 1:
                 unit = units.pop()
                 if unit is not None:
@@ -305,16 +282,16 @@ class UnitDataflow:
     def _check_returns(
         self, node: ast.AST, filename: str
     ) -> Iterable[Diagnostic]:
-        info = _function_info(node, filename)
-        if info.declared_return is None or info.is_generator:
+        declared = unit_of_name(node.name)
+        if declared is None or is_generator(node):
             return
-        for ret in _own_returns(node):
+        for ret in own_returns(node):
             if ret.value is None:
                 continue
             actual = self.unit_of(ret.value)
-            if actual is not None and actual != info.declared_return:
+            if actual is not None and actual != declared:
                 yield C402_RULE.diagnostic(
-                    f"{info.name}() declares {info.declared_return} but returns "
+                    f"{node.name}() declares {declared} but returns "
                     f"a value ({_describe(ret.value)}) carrying {actual}",
                     file=filename,
                     line=ret.lineno,
@@ -322,54 +299,21 @@ class UnitDataflow:
                 )
 
 
-def _function_info(node: ast.AST, filename: str) -> FunctionInfo:
-    args = node.args
-    params = tuple(
-        arg.arg
-        for arg in [*args.posonlyargs, *args.args]
-        if arg.arg not in ("self", "cls")
-    )
-    return FunctionInfo(
-        name=node.name,
-        filename=filename,
-        node=node,
-        params=params,
-        declared_return=unit_of_name(node.name),
-        is_generator=_is_generator(node),
-    )
-
-
-def _own_statements(node: ast.AST) -> Iterable[ast.AST]:
-    """Walk a function body without descending into nested functions."""
-    stack = list(node.body)
-    while stack:
-        child = stack.pop()
-        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-            continue
-        yield child
-        stack.extend(ast.iter_child_nodes(child))
-
-
-def _own_returns(node: ast.AST) -> Iterable[ast.Return]:
-    for child in _own_statements(node):
-        if isinstance(child, ast.Return):
-            yield child
-
-
-def _is_generator(node: ast.AST) -> bool:
-    return any(
-        isinstance(child, (ast.Yield, ast.YieldFrom)) for child in _own_statements(node)
-    )
-
-
 def _describe(node: ast.expr) -> str:
-    name = _terminal_name(node)
+    name = terminal_name(node)
     if name is not None:
         return name
     if isinstance(node, ast.Call):
-        callee = _terminal_name(node.func)
+        callee = terminal_name(node.func)
         return f"{callee}(...)" if callee else "a call"
     return "an expression"
+
+
+def analyze_graph(graph: CallGraph) -> List[Diagnostic]:
+    """Run the dataflow pass over an already-built call graph."""
+    flow = UnitDataflow(graph)
+    flow.solve()
+    return flow.check()
 
 
 def analyze_sources(sources: Dict[str, str]) -> List[Diagnostic]:
@@ -381,16 +325,18 @@ def analyze_sources(sources: Dict[str, str]) -> List[Diagnostic]:
     return flow.check()
 
 
-def analyze_paths(paths: Sequence[PathLike]) -> List[Diagnostic]:
+def analyze_paths(
+    paths: Sequence[PathLike], cache: Optional[ModuleCache] = None
+) -> List[Diagnostic]:
     """Run the dataflow pass over every ``*.py`` file under ``paths``.
 
     All files are analyzed as one program, so a unit inferred in one
-    module checks call sites in another.
+    module checks call sites in another.  ``cache`` shares the parsed
+    trees with the other passes of the same invocation.
     """
-    sources = {
-        str(path): path.read_text(encoding="utf-8") for path in iter_python_files(paths)
-    }
-    return analyze_sources(sources)
+    if cache is None:
+        cache = ModuleCache()
+    return analyze_graph(CallGraph(cache.modules_for_paths(paths)))
 
 
 def analyze_source_root() -> List[Diagnostic]:

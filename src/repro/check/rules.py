@@ -14,6 +14,11 @@ against:
 * ``C4xx`` — interprocedural unit-dataflow findings of
   :mod:`repro.check.dataflow`: unit tags (``_ps``, ``_watts``, ``_mw``,
   ``_joules``, ...) propagated across call boundaries disagree.
+* ``C5xx`` — interprocedural effect/determinism findings of
+  :mod:`repro.check.effects`, in three contract families: ``C501-C509``
+  cache soundness (an effect reaches a fingerprint-cached result that
+  the fingerprint does not capture), ``C511-C514`` parallel-sweep
+  safety, and ``C521+`` determinism hygiene (iteration-order escapes).
 
 Rule ids must never collide with the ``M``/``S`` series; the shared
 registry (:func:`repro.lint.all_rules`) asserts uniqueness in the gate
@@ -110,6 +115,73 @@ C403_RULE = CheckRule(
     "addition/subtraction mixes incompatible units",
 )
 
+# --- C5xx: effect & determinism contracts (repro.check.effects) ---------------
+# C501-C509 cache soundness: an undeclared effect reaches a result that
+# is memoized under a config fingerprint, so the cache key no longer
+# determines the value.  C508/C509 are reserved for future effect kinds.
+
+C501_RULE = CheckRule(
+    "C501", "cache-wallclock-read", Severity.ERROR,
+    "host clock read reaches a fingerprint-cached result",
+)
+C502_RULE = CheckRule(
+    "C502", "cache-unseeded-rng", Severity.ERROR,
+    "process-global/unseeded RNG reaches a fingerprint-cached result",
+)
+C503_RULE = CheckRule(
+    "C503", "cache-env-read", Severity.ERROR,
+    "environment read reaches a fingerprint-cached result",
+)
+C504_RULE = CheckRule(
+    "C504", "cache-fs-access", Severity.ERROR,
+    "filesystem access reaches a fingerprint-cached result",
+)
+C505_RULE = CheckRule(
+    "C505", "cache-net-access", Severity.ERROR,
+    "network access reaches a fingerprint-cached result",
+)
+C506_RULE = CheckRule(
+    "C506", "cache-module-state", Severity.ERROR,
+    "module-level or closure state mutated under a cached entry point",
+)
+C507_RULE = CheckRule(
+    "C507", "cache-identity-dependence", Severity.ERROR,
+    "id()/hash()/pid dependence reaches a fingerprint-cached result",
+)
+
+# C511-C514 parallel-sweep safety: a ProcessPoolExecutor worker whose
+# behavior depends on (or mutates) state that does not travel across
+# the process boundary.
+
+C511_RULE = CheckRule(
+    "C511", "parallel-shared-mutation", Severity.ERROR,
+    "sweep worker mutates module-level state invisible across processes",
+)
+C512_RULE = CheckRule(
+    "C512", "parallel-unpicklable-capture", Severity.ERROR,
+    "lambda or nested closure handed to a process-parallel sweep",
+)
+C513_RULE = CheckRule(
+    "C513", "parallel-accumulator-write", Severity.ERROR,
+    "sweep worker accumulates into a module-level container",
+)
+C514_RULE = CheckRule(
+    "C514", "parallel-unseeded-rng", Severity.ERROR,
+    "sweep worker draws from the process-global RNG (fork-correlated streams)",
+)
+
+# C521+ determinism hygiene: result assembly whose value can differ
+# between runs or backends with identical configuration.
+
+C521_RULE = CheckRule(
+    "C521", "order-dependent-result", Severity.ERROR,
+    "set iteration order escapes into a result",
+)
+C522_RULE = CheckRule(
+    "C522", "order-dependent-accumulation", Severity.ERROR,
+    "float accumulation over an unordered collection",
+)
+
 
 #: The full checker catalog, in catalog order (registry + docs).
 CHECK_RULES: Tuple[CheckRule, ...] = (
@@ -126,6 +198,19 @@ CHECK_RULES: Tuple[CheckRule, ...] = (
     C401_RULE,
     C402_RULE,
     C403_RULE,
+    C501_RULE,
+    C502_RULE,
+    C503_RULE,
+    C504_RULE,
+    C505_RULE,
+    C506_RULE,
+    C507_RULE,
+    C511_RULE,
+    C512_RULE,
+    C513_RULE,
+    C514_RULE,
+    C521_RULE,
+    C522_RULE,
 )
 
 #: Rule lookup by id (used by the invariant catalog).

@@ -1,0 +1,215 @@
+"""Structural validator for the ``repro check --json`` payload.
+
+CI pipelines and the regression watchdog parse the checker's JSON
+output; a silently reshaped payload (a renamed key, a list where an
+object used to be) breaks them long after the commit that did it.  This
+module pins the shape as executable documentation: a hand-rolled
+structural schema (the container ships no ``jsonschema`` dependency,
+and the stdlib is enough for the shapes we need) that yields one
+human-readable problem string per violation.
+
+The top-level payload is the lint report envelope (``version``,
+``counts``, ``diagnostics``) extended with the checker's own sections:
+``state_space`` (per-configuration exploration summaries) and, unless
+``--no-effects`` was passed, ``effects`` (the per-entry-point summary of
+:mod:`repro.check.effects`).
+
+Usage::
+
+    problems = validate_check_payload(json.loads(output))
+    assert not problems, "\\n".join(problems)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.diagnostics import JSON_SCHEMA_VERSION, Severity
+from repro.check.effects import EFFECTS_SCHEMA_VERSION
+
+_SEVERITIES = tuple(severity.value for severity in Severity)
+_ENTRY_KINDS = ("driver", "cache", "sweep-worker")
+
+
+def _expect(
+    value: Any, kinds: Tuple[type, ...], where: str
+) -> Iterator[str]:
+    if not isinstance(value, kinds) or isinstance(value, bool) and bool not in kinds:
+        names = "/".join(kind.__name__ for kind in kinds)
+        yield f"{where}: expected {names}, got {type(value).__name__}"
+
+
+def _check_diagnostic(diag: Any, where: str) -> Iterator[str]:
+    yield from _expect(diag, (dict,), where)
+    if not isinstance(diag, dict):
+        return
+    for key in ("rule", "name", "severity", "message", "location"):
+        if key not in diag:
+            yield f"{where}: missing key {key!r}"
+    if isinstance(diag.get("rule"), str) is False:
+        yield f"{where}.rule: expected str"
+    if diag.get("severity") not in _SEVERITIES:
+        yield f"{where}.severity: expected one of {_SEVERITIES}"
+    location = diag.get("location")
+    if isinstance(location, dict):
+        for key in ("file", "line", "object"):
+            if key not in location:
+                yield f"{where}.location: missing key {key!r}"
+        line = location.get("line")
+        if line is not None:
+            yield from _expect(line, (int,), f"{where}.location.line")
+    elif location is not None:
+        yield f"{where}.location: expected object"
+
+
+def _check_state_space(space: Any) -> Iterator[str]:
+    yield from _expect(space, (dict,), "state_space")
+    if not isinstance(space, dict):
+        return
+    for label, summary in space.items():
+        where = f"state_space[{label!r}]"
+        yield from _expect(summary, (dict,), where)
+        if not isinstance(summary, dict):
+            continue
+        for key in ("states_explored", "transitions_taken", "truncated"):
+            if key not in summary:
+                yield f"{where}: missing key {key!r}"
+        for key in ("states_explored", "transitions_taken"):
+            if key in summary:
+                yield from _expect(summary[key], (int,), f"{where}.{key}")
+        if "truncated" in summary:
+            yield from _expect(summary["truncated"], (bool,), f"{where}.truncated")
+
+
+def _check_effect(effect: Any, where: str) -> Iterator[str]:
+    yield from _expect(effect, (dict,), where)
+    if not isinstance(effect, dict):
+        return
+    for key in ("kind", "category", "rule", "detail", "witness_file",
+                "witness_line", "path"):
+        if key not in effect:
+            yield f"{where}: missing key {key!r}"
+    for key in ("kind", "category", "detail", "witness_file"):
+        if key in effect:
+            yield from _expect(effect[key], (str,), f"{where}.{key}")
+    if "witness_line" in effect:
+        yield from _expect(effect["witness_line"], (int,), f"{where}.witness_line")
+    if "rule" in effect and effect["rule"] is not None:
+        yield from _expect(effect["rule"], (str,), f"{where}.rule")
+    path = effect.get("path")
+    if path is not None:
+        yield from _expect(path, (list,), f"{where}.path")
+        if isinstance(path, list):
+            for index, hop in enumerate(path):
+                yield from _expect(hop, (str,), f"{where}.path[{index}]")
+
+
+def _check_effects(effects: Any) -> Iterator[str]:
+    yield from _expect(effects, (dict,), "effects")
+    if not isinstance(effects, dict):
+        return
+    if effects.get("version") != EFFECTS_SCHEMA_VERSION:
+        yield (
+            f"effects.version: expected {EFFECTS_SCHEMA_VERSION}, "
+            f"got {effects.get('version')!r}"
+        )
+    for key in ("functions", "converged", "entry_points", "declared"):
+        if key not in effects:
+            yield f"effects: missing key {key!r}"
+    if "functions" in effects:
+        yield from _expect(effects["functions"], (int,), "effects.functions")
+    if "converged" in effects:
+        yield from _expect(effects["converged"], (bool,), "effects.converged")
+    entries = effects.get("entry_points")
+    if isinstance(entries, list):
+        for index, entry in enumerate(entries):
+            where = f"effects.entry_points[{index}]"
+            yield from _expect(entry, (dict,), where)
+            if not isinstance(entry, dict):
+                continue
+            for key in ("qualname", "kind", "file", "line", "clean", "effects"):
+                if key not in entry:
+                    yield f"{where}: missing key {key!r}"
+            if entry.get("kind") not in _ENTRY_KINDS:
+                yield f"{where}.kind: expected one of {_ENTRY_KINDS}"
+            if "line" in entry:
+                yield from _expect(entry["line"], (int,), f"{where}.line")
+            if "clean" in entry:
+                yield from _expect(entry["clean"], (bool,), f"{where}.clean")
+            found = entry.get("effects")
+            if isinstance(found, list):
+                if entry.get("clean") is True and found:
+                    yield f"{where}: clean entry carries effects"
+                if entry.get("clean") is False and not found:
+                    yield f"{where}: unclean entry carries no effects"
+                for effect_index, effect in enumerate(found):
+                    yield from _check_effect(
+                        effect, f"{where}.effects[{effect_index}]"
+                    )
+            elif found is not None:
+                yield f"{where}.effects: expected list"
+    elif entries is not None:
+        yield "effects.entry_points: expected list"
+    declared = effects.get("declared")
+    if isinstance(declared, list):
+        for index, entry in enumerate(declared):
+            where = f"effects.declared[{index}]"
+            yield from _expect(entry, (dict,), where)
+            if not isinstance(entry, dict):
+                continue
+            for key in ("qualname", "file", "line", "effects"):
+                if key not in entry:
+                    yield f"{where}: missing key {key!r}"
+    elif declared is not None:
+        yield "effects.declared: expected list"
+
+
+def validate_check_payload(
+    payload: Any, expect_effects: Optional[bool] = None
+) -> List[str]:
+    """Every structural problem in a ``repro check --json`` payload.
+
+    Returns an empty list when the payload conforms.  ``expect_effects``
+    pins whether the ``effects`` section must (True) or must not (False)
+    be present; ``None`` validates it only when present.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload: expected object, got {type(payload).__name__}"]
+    if payload.get("version") != JSON_SCHEMA_VERSION:
+        problems.append(
+            f"version: expected {JSON_SCHEMA_VERSION}, got {payload.get('version')!r}"
+        )
+    counts = payload.get("counts")
+    if not isinstance(counts, dict):
+        problems.append("counts: expected object")
+    else:
+        for severity in _SEVERITIES:
+            if not isinstance(counts.get(severity), int):
+                problems.append(f"counts.{severity}: expected int")
+    diagnostics = payload.get("diagnostics")
+    if not isinstance(diagnostics, list):
+        problems.append("diagnostics: expected list")
+    else:
+        for index, diag in enumerate(diagnostics):
+            problems.extend(_check_diagnostic(diag, f"diagnostics[{index}]"))
+        if isinstance(counts, dict):
+            total = sum(
+                count for count in counts.values() if isinstance(count, int)
+            )
+            if total != len(diagnostics):
+                problems.append(
+                    f"counts: severities sum to {total} but "
+                    f"{len(diagnostics)} diagnostic(s) listed"
+                )
+    if "state_space" not in payload:
+        problems.append("payload: missing key 'state_space'")
+    else:
+        problems.extend(_check_state_space(payload["state_space"]))
+    if expect_effects is True and "effects" not in payload:
+        problems.append("payload: missing key 'effects'")
+    if expect_effects is False and "effects" in payload:
+        problems.append("payload: unexpected key 'effects' (ran with --no-effects)")
+    if "effects" in payload:
+        problems.extend(_check_effects(payload["effects"]))
+    return problems

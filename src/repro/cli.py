@@ -326,19 +326,25 @@ def _default_lint_root() -> str:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    """Exhaustive model check + interprocedural unit dataflow (C-series).
+    """Exhaustive model check + interprocedural source passes (C-series).
 
     Explores every reachable composed state of the shipped Skylake
     platform in its two extreme configurations (baseline DRIPS and full
     ODRIPS), checks the power-safety invariants in each state, then runs
-    the unit-dataflow pass over the sources.  Exit 0 when clean, 1 on
+    the unit-dataflow (C4xx) and effect/determinism (C5xx) passes over
+    the sources — both on one shared parse and call graph, so each file
+    is parsed exactly once per invocation.  Exit 0 when clean, 1 on
     findings, 2 on usage errors — the same contract as ``repro lint``.
     """
     import json as json_mod
 
     from repro import check as check_mod
     from repro import lint as lint_mod
+    from repro.check.callgraph import graph_for_paths
+    from repro.check.dataflow import analyze_graph
+    from repro.check.effects import analyze_effects_graph
     from repro.errors import ConfigError
+    from repro.lint.astcache import ModuleCache
 
     select = [token for entry in args.select for token in entry.split(",") if token]
     ignore = [token for entry in args.ignore for token in entry.split(",") if token]
@@ -382,7 +388,14 @@ def cmd_check(args: argparse.Namespace) -> int:
         for path in missing:
             print(f"error: no such file or directory: {path}", file=sys.stderr)
         return lint_mod.EXIT_USAGE
-    diagnostics.extend(check_mod.analyze_paths(paths))
+    cache = ModuleCache()
+    graph = graph_for_paths(paths, cache=cache)
+    diagnostics.extend(analyze_graph(graph))
+    effects_summary: Optional[Dict[str, object]] = None
+    if getattr(args, "effects", True):
+        effects_report = analyze_effects_graph(graph)
+        diagnostics.extend(effects_report.diagnostics)
+        effects_summary = effects_report.summary
 
     diagnostics = lint_mod.filter_diagnostics(
         lint_mod.dedupe_diagnostics(diagnostics), select=select, ignore=ignore
@@ -390,6 +403,8 @@ def cmd_check(args: argparse.Namespace) -> int:
     if args.json:
         payload = json_mod.loads(lint_mod.render_json(diagnostics))
         payload["state_space"] = state_space
+        if effects_summary is not None:
+            payload["effects"] = effects_summary
         print(json_mod.dumps(payload, indent=2, sort_keys=True))
     else:
         print(lint_mod.render_text(diagnostics))
@@ -399,6 +414,15 @@ def cmd_check(args: argparse.Namespace) -> int:
                 f"state space [{label}]: {summary['states_explored']} state(s), "
                 f"{summary['transitions_taken']} transition(s)"
                 + (" [truncated]" if summary["truncated"] else "")
+            )
+        if effects_summary is not None:
+            entries = effects_summary["entry_points"]
+            clean = sum(1 for entry in entries if entry["clean"])
+            print(
+                f"effects: {len(entries)} entry point(s), {clean} clean, "
+                f"{len(entries) - clean} with undeclared effects "
+                f"({effects_summary['functions']} function(s) analyzed, "
+                f"parsed {cache.parse_count} file(s) once)"
             )
     return lint_mod.exit_code(diagnostics)
 
@@ -506,6 +530,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--invariants", action="append", default=[], metavar="NAMES",
         help="check: only evaluate these invariants (comma-separated names; "
              "default: all builtins)",
+    )
+    check_group.add_argument(
+        "--effects", dest="effects", action="store_true", default=True,
+        help="check: run the C5xx effect/determinism analysis (default)",
+    )
+    check_group.add_argument(
+        "--no-effects", dest="effects", action="store_false",
+        help="check: skip the C5xx effect/determinism analysis",
     )
     report_group = parser.add_argument_group("report options")
     report_group.add_argument(

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 from repro.config import PlatformConfig, StandbyWorkloadConfig, skylake_config
 from repro.core.techniques import TechniqueSet
 from repro.obs.profile import host_phase
+from repro.effects import declares_effects
 from repro.obs.runlog import active_recorder, host_wall_s
 from repro.system.skylake import SkylakePlatform
 from repro.workloads.standby import ConnectedStandbyRunner, StandbyResult
@@ -93,6 +94,7 @@ class ODRIPSController:
         """A freshly wired platform for this technique set."""
         return SkylakePlatform(self.config, self.techniques, **platform_kwargs)
 
+    @declares_effects("time")  # flight-recorder wall time, never in the result
     def measure(
         self,
         cycles: int = 2,

@@ -1,0 +1,85 @@
+"""Declared-effects escape hatch for the C5xx effect analysis.
+
+The effect/determinism checker (:mod:`repro.check.effects`) proves that
+everything reachable from a fingerprint-cached entry point or a
+parallel sweep worker is a pure, deterministic function of its
+configuration.  Some impurity is intentional — the experiment flight
+recorder stamps host wall time, the host-phase profiler reads
+``perf_counter`` — and the right place to say so is the *boundary*
+function that owns the instrumentation, not every file it touches:
+
+    from repro.effects import declares_effects
+
+    @declares_effects("time")
+    def measure(self, cycles: int = 2) -> StandbyMeasurement:
+        ...  # wall-time instrumentation never leaks into the result
+
+A declared effect is absorbed at that boundary: the checker neither
+reports it on the function itself nor propagates it to callers.  The
+declaration is a claim the author makes — "this effect does not reach
+the returned result" — and it is deliberately narrow: only the named
+kinds are absorbed, every other effect still propagates.
+
+The decorator is a runtime no-op apart from validation and a metadata
+attribute; the checker reads it syntactically (it never imports the
+code under analysis).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple, TypeVar
+
+Fn = TypeVar("Fn", bound=Callable[..., Any])
+
+#: Every effect kind the checker tracks (and a declaration may name).
+#:
+#: * ``time`` — host wallclock/monotonic clock reads.
+#: * ``rng`` — the process-global or otherwise unseeded RNG.
+#: * ``env`` — environment variables and host-shape reads (cpu count).
+#: * ``fs`` — filesystem reads/writes.
+#: * ``net`` — sockets and HTTP clients.
+#: * ``module-state`` — mutation of module-level or closure state.
+#: * ``identity`` — ``id()``/``hash()``/pid dependence.
+#: * ``order`` — set/dict iteration order escaping into results.
+EFFECT_KINDS: Tuple[str, ...] = (
+    "time",
+    "rng",
+    "env",
+    "fs",
+    "net",
+    "module-state",
+    "identity",
+    "order",
+)
+
+#: Attribute carrying a function's declared effects at runtime.
+DECLARED_EFFECTS_ATTR = "__declared_effects__"
+
+
+def declares_effects(*effects: str) -> Callable[[Fn], Fn]:
+    """Declare that ``effects`` are intentional and stop at this boundary.
+
+    Raises :class:`ValueError` at decoration time on an unknown effect
+    kind, so a typo fails the import instead of silently absorbing
+    nothing.
+    """
+    unknown = sorted(set(effects) - set(EFFECT_KINDS))
+    if unknown:
+        known = ", ".join(EFFECT_KINDS)
+        raise ValueError(
+            f"unknown effect kind(s) {unknown!r}; known kinds: {known}"
+        )
+    if not effects:
+        raise ValueError("declares_effects() needs at least one effect kind")
+
+    def wrap(fn: Fn) -> Fn:
+        declared = tuple(dict.fromkeys(effects))  # dedupe, keep order
+        setattr(fn, DECLARED_EFFECTS_ATTR, declared)
+        return fn
+
+    return wrap
+
+
+def declared_effects(fn: Any) -> Tuple[str, ...]:
+    """The effects ``fn`` declares (empty when undecorated)."""
+    return tuple(getattr(fn, DECLARED_EFFECTS_ATTR, ()))

@@ -1,0 +1,118 @@
+"""One-parse-per-file AST cache shared by every static pass.
+
+``python -m repro check`` runs two interprocedural passes (unit
+dataflow and the effect analysis) and ``python -m repro lint`` runs the
+source rules — all over the same files.  Parsing is the dominant host
+cost of those passes, so the CLI builds one :class:`ModuleCache` and
+hands the same :class:`ParsedModule` values to every pass: each source
+file is read and parsed exactly once per invocation, however many
+passes consume it (the check bench records the parse-count win).
+
+A :class:`ParsedModule` also owns the module's effective pragma map
+(:func:`repro.lint.source.allow_map_for`), computed lazily, so the
+suppression semantics stay identical across passes by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def default_source_root() -> Path:
+    """The installed ``repro`` package directory (what the CLI checks)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def iter_python_files(paths: Iterable[PathLike]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            yield from sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        else:
+            yield path
+
+
+@dataclass(eq=False)
+class ParsedModule:
+    """One source file, parsed once and shared between passes."""
+
+    filename: str
+    source: str
+    #: ``None`` when the source does not parse (see :attr:`syntax_error`).
+    tree: Optional[ast.Module]
+    syntax_error: Optional[SyntaxError] = None
+    _allows: Optional[Dict[int, Set[str]]] = field(default=None, repr=False)
+
+    @property
+    def allows(self) -> Dict[int, Set[str]]:
+        """Effective line -> allowed-rule-ids pragma map (lazy, cached)."""
+        if self._allows is None:
+            if self.tree is None:
+                self._allows = {}
+            else:
+                from repro.lint.source import allow_map_for
+
+                self._allows = allow_map_for(self.source, self.tree)
+        return self._allows
+
+
+class ModuleCache:
+    """Parse each source file once; hand the same tree to every pass.
+
+    Keyed by filename; re-adding the same filename with different text
+    (tests synthesizing modules) re-parses and replaces the entry.
+    :attr:`parse_count` counts actual ``ast.parse`` calls, so the bench
+    suite can assert the sharing holds (N files -> N parses, however
+    many passes run).
+    """
+
+    def __init__(self) -> None:
+        self._modules: Dict[str, ParsedModule] = {}
+        self.parse_count = 0
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def module_for_source(self, source: str, filename: str) -> ParsedModule:
+        """The parsed module for ``source``, parsing at most once."""
+        cached = self._modules.get(filename)
+        if cached is not None and cached.source == source:
+            return cached
+        self.parse_count += 1
+        try:
+            tree: Optional[ast.Module] = ast.parse(source, filename=filename)
+            error: Optional[SyntaxError] = None
+        except SyntaxError as exc:
+            tree, error = None, exc
+        module = ParsedModule(filename=filename, source=source,
+                              tree=tree, syntax_error=error)
+        self._modules[filename] = module
+        return module
+
+    def module_for_path(self, path: PathLike) -> ParsedModule:
+        """Read and parse one file, memoized by its path."""
+        file_path = Path(path)
+        filename = str(file_path)
+        cached = self._modules.get(filename)
+        if cached is not None:
+            return cached
+        return self.module_for_source(
+            file_path.read_text(encoding="utf-8"), filename
+        )
+
+    def modules_for_paths(self, paths: Iterable[PathLike]) -> List[ParsedModule]:
+        """Parsed modules for every ``*.py`` file under ``paths``, sorted."""
+        return [self.module_for_path(path) for path in iter_python_files(paths)]

@@ -25,6 +25,7 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 from repro.clocks.clock import DerivedClock, GateableClock
 from repro.clocks.crystal import CrystalOscillator
 from repro.clocks.tree import ClockBuffer
+from repro.effects import declares_effects
 from repro.lint.diagnostics import Diagnostic, sort_diagnostics
 from repro.power.domain import Component, PowerDomain, Rail
 from repro.power.gates import PowerGate
@@ -147,6 +148,7 @@ def _walkable(obj: Any) -> bool:
     return True
 
 
+@declares_effects("identity")  # id() keys the visited set; buckets are sorted
 def walk_model(root: Any) -> ModelView:
     """Collect a :class:`ModelView` from an arbitrary platform object."""
     view = ModelView()

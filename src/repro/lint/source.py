@@ -21,39 +21,21 @@ what S401 exists to keep out of simulation code.
 from __future__ import annotations
 
 import ast
-import os
 import re
-from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Set, Union
+from typing import Dict, Iterable, List, Optional, Set
 
+from repro.lint.astcache import (  # noqa: F401  (re-exported legacy names)
+    ModuleCache,
+    ParsedModule,
+    PathLike,
+    default_source_root,
+    iter_python_files,
+)
 from repro.lint.diagnostics import Diagnostic, Location, Severity, sort_diagnostics
-
-PathLike = Union[str, os.PathLike]
 
 #: Identity of the pragma-hygiene rule (registered alongside S401-S406).
 S407_RULE = "S407"
 S407_NAME = "unknown-pragma-rule"
-
-
-def default_source_root() -> Path:
-    """The installed ``repro`` package directory (what the CLI lints)."""
-    import repro
-
-    return Path(repro.__file__).resolve().parent
-
-
-def iter_python_files(paths: Iterable[PathLike]) -> Iterator[Path]:
-    """Expand files/directories into a sorted stream of ``*.py`` files."""
-    for entry in paths:
-        path = Path(entry)
-        if path.is_dir():
-            yield from sorted(
-                candidate
-                for candidate in path.rglob("*.py")
-                if "__pycache__" not in candidate.parts
-            )
-        else:
-            yield path
 
 
 def _syntax_diagnostic(filename: str, error: SyntaxError) -> Diagnostic:
@@ -92,24 +74,38 @@ def _expand_over_statements(
     call, a parenthesized assignment) suppresses findings anywhere in
     that statement — rules report at the statement or sub-expression
     line, which need not be the line carrying the comment.  Compound
-    statements (defs, loops, ``if``) do **not** spread: a pragma inside
-    a function body must never blanket the whole function.
+    statements (defs, loops, ``if``) do **not** spread a body pragma:
+    a pragma inside a function body must never blanket the whole
+    function.  A ``def``/``class`` *header* does spread, though — the
+    decorator lines, the signature lines and the ``def`` line are one
+    span, so a pragma on a decorated ``def`` covers findings reported
+    at its decorators (and vice versa) without touching the body.
     """
     expanded = {line: set(rules) for line, rules in allows.items()}
     if not allows:
         return expanded
+
+    def spread(first_line: int, last_line: int) -> None:
+        span_rules: Set[str] = set()
+        for line in range(first_line, last_line + 1):
+            span_rules |= allows.get(line, set())
+        if span_rules:
+            for line in range(first_line, last_line + 1):
+                expanded.setdefault(line, set()).update(span_rules)
+
     for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            start = min(
+                [node.lineno] + [dec.lineno for dec in node.decorator_list]
+            )
+            spread(start, node.body[0].lineno - 1)
+            continue
         if not isinstance(node, ast.stmt) or hasattr(node, "body"):
             continue
         end = getattr(node, "end_lineno", None) or node.lineno
         if end == node.lineno:
             continue
-        span_rules: Set[str] = set()
-        for line in range(node.lineno, end + 1):
-            span_rules |= allows.get(line, set())
-        if span_rules:
-            for line in range(node.lineno, end + 1):
-                expanded.setdefault(line, set()).update(span_rules)
+        spread(node.lineno, end)
     return expanded
 
 
@@ -159,44 +155,61 @@ def _suppressed(diag: Diagnostic, allows: Dict[int, Set[str]]) -> bool:
     return line is not None and diag.rule in allows.get(line, ())
 
 
-def lint_source_text(source: str, filename: str = "<string>") -> List[Diagnostic]:
-    """Run every source rule over one module's text.
+def lint_module(module: ParsedModule) -> List[Diagnostic]:
+    """Run every source rule over one already-parsed module.
 
     Findings on lines carrying a matching ``# lint: allow(<rule-id>)``
     pragma are suppressed; the pragma names exact rule ids, never
-    prefixes.
+    prefixes.  Passing the same :class:`ParsedModule` the interprocedural
+    check passes consume means the file is parsed once for all of them.
     """
     from repro.lint.rules_source import SOURCE_RULES
 
-    try:
-        tree = ast.parse(source, filename=filename)
-    except SyntaxError as error:
-        return [_syntax_diagnostic(filename, error)]
-    allows = allow_map_for(source, tree)
+    if module.tree is None:
+        assert module.syntax_error is not None
+        return [_syntax_diagnostic(module.filename, module.syntax_error)]
+    allows = module.allows
     diagnostics: List[Diagnostic] = []
     for rule in SOURCE_RULES:
         diagnostics.extend(
-            diag for diag in rule.check(tree, filename) if not _suppressed(diag, allows)
+            diag
+            for diag in rule.check(module.tree, module.filename)
+            if not _suppressed(diag, allows)
         )
     diagnostics.extend(
         diag
-        for diag in _unknown_pragma_diagnostics(_allow_pragmas(source), filename)
+        for diag in _unknown_pragma_diagnostics(
+            _allow_pragmas(module.source), module.filename
+        )
         if not _suppressed(diag, allows)
     )
     return sort_diagnostics(diagnostics)
 
 
-def lint_file(path: PathLike) -> List[Diagnostic]:
-    """Lint one Python file."""
-    file_path = Path(path)
-    return lint_source_text(
-        file_path.read_text(encoding="utf-8"), filename=str(file_path)
-    )
+def lint_source_text(source: str, filename: str = "<string>") -> List[Diagnostic]:
+    """Run every source rule over one module's text."""
+    return lint_module(ModuleCache().module_for_source(source, filename))
 
 
-def lint_paths(paths: Iterable[PathLike]) -> List[Diagnostic]:
-    """Lint every Python file under ``paths`` (files or directories)."""
+def lint_file(path: PathLike, cache: Optional[ModuleCache] = None) -> List[Diagnostic]:
+    """Lint one Python file (parsed through ``cache`` when given)."""
+    if cache is None:
+        cache = ModuleCache()
+    return lint_module(cache.module_for_path(path))
+
+
+def lint_paths(
+    paths: Iterable[PathLike], cache: Optional[ModuleCache] = None
+) -> List[Diagnostic]:
+    """Lint every Python file under ``paths`` (files or directories).
+
+    ``cache`` shares parsed trees with other passes of the same
+    invocation (the CLI passes one :class:`ModuleCache` to the source
+    rules, the unit dataflow and the effect analysis).
+    """
+    if cache is None:
+        cache = ModuleCache()
     diagnostics: List[Diagnostic] = []
-    for file_path in iter_python_files(paths):
-        diagnostics.extend(lint_file(file_path))
+    for module in cache.modules_for_paths(paths):
+        diagnostics.extend(lint_module(module))
     return sort_diagnostics(diagnostics)

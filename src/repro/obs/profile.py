@@ -38,6 +38,8 @@ import tracemalloc
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
+from repro.effects import declares_effects
+
 #: The canonical phase names, in pipeline order.
 PHASE_BUILD = "build"
 PHASE_SIMULATE = "simulate"
@@ -140,6 +142,7 @@ class PhaseProfiler:
             self._started_tracemalloc = True
         self._origin_s = time.perf_counter()  # lint: allow(S401) host-phase profiler
 
+    @declares_effects("time")  # the profiler is host-side instrumentation
     def _now_s(self) -> float:
         """Host seconds since the profiler was created."""
         return time.perf_counter() - self._origin_s  # lint: allow(S401) host-phase profiler

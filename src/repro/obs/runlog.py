@@ -42,6 +42,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
+from repro.effects import declares_effects
+
 #: Schema identifier stamped into every record; bump on breaking change.
 RUNLOG_SCHEMA = "repro-runlog/1"
 
@@ -271,6 +273,7 @@ class RunLog:
     def path(self) -> Path:
         return self.directory / RUNLOG_FILE
 
+    @declares_effects("time", "fs")  # persistence stamp + the store itself
     def append(self, record: Dict[str, Any]) -> Path:
         """Stamp and append one record; returns the store path.
 

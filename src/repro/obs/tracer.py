@@ -28,6 +28,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.effects import declares_effects
+
 from repro.obs.metrics import MetricsRegistry
 
 #: Default track names the instrumented seams publish on.
@@ -214,6 +216,7 @@ class Tracer:
 _active: Optional[Tracer] = None
 
 
+@declares_effects("module-state")  # the process-wide opt-in hook itself
 def install(tracer: Optional[Tracer] = None) -> Tracer:
     """Activate ``tracer`` (a fresh one when omitted) process-wide.
 
@@ -227,6 +230,7 @@ def install(tracer: Optional[Tracer] = None) -> Tracer:
     return tracer
 
 
+@declares_effects("module-state")  # the process-wide opt-in hook itself
 def uninstall() -> None:
     """Deactivate tracing; already-attached platforms keep their tracer."""
     global _active

@@ -95,6 +95,10 @@ BENCH_POLICIES: Tuple[BenchPolicy, ...] = (
         "check_fig2_statespace", "speedup", "floor", 10.0,
         "a fingerprint-cached model check must skip the exploration",
     ),
+    BenchPolicy(
+        "check_shared_parse", "parse_speedup", "floor", 1.1,
+        "one ModuleCache parse must feed every source-analysis pass",
+    ),
 )
 
 

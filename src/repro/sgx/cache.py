@@ -38,7 +38,11 @@ class MEECache:
         return self.sets * self.ways
 
     def _set_of(self, key: CacheKey) -> OrderedDict:
-        return self._lines[hash(key) % self.sets]
+        # Explicit mix, not hash(): the set mapping — and with it the
+        # simulated eviction pattern — must not depend on the
+        # interpreter's hash algorithm.
+        level, index = key
+        return self._lines[(level * 1000003 + index) % self.sets]
 
     def lookup(self, key: CacheKey) -> Optional[int]:
         """Return the cached counter for ``key``, or None on a miss."""

@@ -114,3 +114,81 @@ def test_tiny_max_states_truncates_with_a_warning(capsys, clean_module):
 
 def test_missing_path_is_a_usage_error_not_a_traceback(capsys):
     assert main(["check", "--path", "/does/not/exist.py"]) == EXIT_USAGE
+
+
+# --- the C5xx effects pass ---------------------------------------------------
+
+
+@pytest.fixture
+def cached_driver_with_wallclock(tmp_path):
+    """The acceptance-criterion mutation: a cached driver reads the clock."""
+    path = tmp_path / "exp.py"
+    path.write_text(
+        "import time\n"
+        "@experiment_driver('fig9')\n"
+        "def drv():\n"
+        "    return time.time()\n"
+    )
+    return str(path)
+
+
+def test_injected_wallclock_in_a_cached_driver_exits_nonzero(
+    capsys, cached_driver_with_wallclock
+):
+    code = main(["check", "--path", cached_driver_with_wallclock])
+    out = capsys.readouterr().out
+    assert code == EXIT_DIAGNOSTICS
+    assert "C501" in out
+    assert "time.time()" in out
+
+
+def test_no_effects_skips_the_c5xx_pass(capsys, cached_driver_with_wallclock):
+    code = main(["check", "--no-effects", "--path", cached_driver_with_wallclock])
+    out = capsys.readouterr().out
+    assert code == EXIT_CLEAN
+    assert "effects:" not in out
+
+
+def test_text_mode_prints_the_effects_summary_line(capsys, clean_module):
+    assert main(["check", "--path", clean_module]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "effects: " in out
+    assert "parsed 1 file(s) once" in out
+
+
+def test_json_carries_the_effects_section(capsys, cached_driver_with_wallclock):
+    code = main(["check", "--json", "--path", cached_driver_with_wallclock])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == EXIT_DIAGNOSTICS
+    effects = payload["effects"]
+    (entry,) = effects["entry_points"]
+    assert entry["qualname"] == "drv"
+    assert entry["kind"] == "driver"
+    assert entry["clean"] is False
+    assert entry["effects"][0]["rule"] == "C501"
+
+
+def test_json_omits_effects_under_no_effects(capsys, clean_module):
+    assert main(["check", "--json", "--no-effects", "--path", clean_module]) == EXIT_CLEAN
+    payload = json.loads(capsys.readouterr().out)
+    assert "effects" not in payload
+
+
+def test_c5_is_a_valid_select_pattern(capsys, cached_driver_with_wallclock):
+    code = main(["check", "--json", "--select", "C5", "--path", cached_driver_with_wallclock])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == EXIT_DIAGNOSTICS
+    assert {d["rule"] for d in payload["diagnostics"]} == {"C501"}
+
+
+def test_ignore_c5_suppresses_the_effects_findings(capsys, cached_driver_with_wallclock):
+    assert main(
+        ["check", "--ignore", "C5", "--path", cached_driver_with_wallclock]
+    ) == EXIT_CLEAN
+
+
+def test_the_shipped_tree_checks_clean_end_to_end(capsys):
+    """python -m repro check, defaults, over the real package: exit 0."""
+    assert main(["check"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "effects:" in out and "0 with undeclared effects" in out

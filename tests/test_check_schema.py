@@ -1,0 +1,111 @@
+"""Tests of the ``repro check --json`` payload validator."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.check.schema import validate_check_payload
+from repro.cli import main
+from repro.lint.diagnostics import EXIT_CLEAN, EXIT_DIAGNOSTICS
+
+
+@pytest.fixture(scope="module")
+def live_payload(tmp_path_factory):
+    """One real ``repro check --json`` payload over a small dirty tree."""
+    root = tmp_path_factory.mktemp("schema")
+    module = root / "exp.py"
+    module.write_text(
+        "import time\n"
+        "def latency_ps():\n"
+        "    return 3.5\n"  # C402: *_ps returning a float-ish expression
+        "@experiment_driver('fig')\n"
+        "def drv():\n"
+        "    return time.time()\n"
+    )
+    import io
+    from contextlib import redirect_stdout
+
+    stream = io.StringIO()
+    with redirect_stdout(stream):
+        code = main(["check", "--json", "--path", str(module)])
+    assert code == EXIT_DIAGNOSTICS
+    return json.loads(stream.getvalue())
+
+
+def test_the_live_payload_validates(live_payload):
+    assert validate_check_payload(live_payload, expect_effects=True) == []
+
+
+def test_the_live_payload_carries_both_sections(live_payload):
+    assert "state_space" in live_payload
+    assert "effects" in live_payload
+    assert any(
+        entry["clean"] is False
+        for entry in live_payload["effects"]["entry_points"]
+    )
+
+
+def test_non_object_payload_is_one_problem():
+    assert validate_check_payload([1, 2]) == [
+        "payload: expected object, got list"
+    ]
+
+
+def test_wrong_version_is_reported(live_payload):
+    payload = copy.deepcopy(live_payload)
+    payload["version"] = 99
+    assert any("version" in p for p in validate_check_payload(payload))
+
+
+def test_missing_state_space_is_reported(live_payload):
+    payload = copy.deepcopy(live_payload)
+    del payload["state_space"]
+    assert "payload: missing key 'state_space'" in validate_check_payload(payload)
+
+
+def test_count_mismatch_is_reported(live_payload):
+    payload = copy.deepcopy(live_payload)
+    payload["counts"]["error"] += 1
+    assert any("severities sum" in p for p in validate_check_payload(payload))
+
+
+def test_broken_diagnostic_shape_is_reported(live_payload):
+    payload = copy.deepcopy(live_payload)
+    payload["diagnostics"][0].pop("severity")
+    problems = validate_check_payload(payload)
+    assert any("diagnostics[0]" in p and "severity" in p for p in problems)
+
+
+def test_clean_entry_with_effects_is_inconsistent(live_payload):
+    payload = copy.deepcopy(live_payload)
+    dirty = next(
+        entry
+        for entry in payload["effects"]["entry_points"]
+        if not entry["clean"]
+    )
+    dirty["clean"] = True
+    assert any(
+        "clean entry carries effects" in p for p in validate_check_payload(payload)
+    )
+
+
+def test_unknown_entry_kind_is_reported(live_payload):
+    payload = copy.deepcopy(live_payload)
+    payload["effects"]["entry_points"][0]["kind"] = "cron-job"
+    assert any(".kind" in p for p in validate_check_payload(payload))
+
+
+def test_expect_effects_false_rejects_the_section(live_payload):
+    problems = validate_check_payload(live_payload, expect_effects=False)
+    assert any("unexpected key 'effects'" in p for p in problems)
+
+
+def test_no_effects_payload_validates_without_the_section(tmp_path, capsys):
+    module = tmp_path / "clean.py"
+    module.write_text("def run(duration_ps: int) -> int:\n    return duration_ps\n")
+    assert main(["check", "--json", "--no-effects", "--path", str(module)]) == EXIT_CLEAN
+    payload = json.loads(capsys.readouterr().out)
+    assert validate_check_payload(payload, expect_effects=False) == []

@@ -91,3 +91,61 @@ def test_pragma_inside_a_function_does_not_blanket_the_function():
     diagnostics = lint_source_text(source)
     assert rules_of(diagnostics) == ["S401"]
     assert diagnostics[0].location.line == 4
+
+
+# --- def/class header spreading (decorators + signature as one span) ---------
+
+
+def test_pragma_on_the_def_line_covers_a_signature_finding():
+    """S404 reports at the default argument's line; a pragma anywhere in
+    the header span (decorators through signature) must cover it."""
+    source = (
+        "@decorate\n"
+        "def f(  # lint: allow(S404)\n"
+        "    xs=[],\n"
+        "):\n"
+        "    return xs\n"
+    )
+    assert lint_source_text(source) == []
+
+
+def test_pragma_on_a_decorator_line_covers_the_def():
+    source = (
+        "@decorate  # lint: allow(S406)\n"
+        "def total_ps(n) -> float:\n"
+        "    return n\n"
+    )
+    assert lint_source_text(source) == []
+
+
+def test_def_line_pragma_covers_stacked_decorators():
+    source = (
+        "@outer\n"
+        "@inner(arg=[])\n"
+        "def f(xs=[]):  # lint: allow(S404)\n"
+        "    return xs\n"
+    )
+    assert lint_source_text(source) == []
+
+
+def test_header_pragma_never_blankets_the_body():
+    source = (
+        "import time\n"
+        "@decorate\n"
+        "def f(xs=[]):  # lint: allow(S404, S401)\n"
+        "    return time.time()\n"
+    )
+    diagnostics = lint_source_text(source)
+    assert rules_of(diagnostics) == ["S401"]
+    assert diagnostics[0].location.line == 4
+
+
+def test_body_pragma_never_reaches_the_header():
+    source = (
+        "@decorate\n"
+        "def f(xs=[]):\n"
+        "    return xs  # lint: allow(S404)\n"
+    )
+    # S404 fires at the signature; a body pragma must not cover it
+    # (and names a real rule, so no S407).
+    assert rules_of(lint_source_text(source)) == ["S404"]
