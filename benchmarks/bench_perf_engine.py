@@ -297,6 +297,82 @@ def test_parallel_sweep_matches_serial(benchmark, emit):
          "identical rows)")
 
 
+#: Macro-stepping must make week-long horizons interactive: the compiled
+#: run has to beat event-by-event simulation of the same 7-day fig2
+#: horizon by at least this factor (ISSUE acceptance criterion; the
+#: regress watchdog carries the same floor).
+MIN_MACRO_SPEEDUP = 100.0
+
+#: Cycles of the exact reference run.  Simulating all ~20k cycles of the
+#: week exactly would take minutes in CI, so the exact cost is measured
+#: over this sub-horizon and extrapolated linearly — honest for a DES
+#: whose per-cycle work is constant, and recorded as such in the JSON.
+MACRO_EXACT_REFERENCE_CYCLES = 200
+
+
+def test_macro_step_week(benchmark, emit):
+    """7 simulated days of fig2: cycle-compiled macro vs event-by-event.
+
+    Three measurements feed the figure: the macro run over the full
+    7-day horizon (the benchmarked quantity), an exact run over a
+    sub-horizon to price one event-by-event cycle, and a macro run over
+    that same sub-horizon to assert the results are equal bit-for-bit —
+    average power, per-state energy, dwell times, latencies, and wake
+    log all identical, not merely close.
+    """
+    from repro.config import StandbyWorkloadConfig
+    from repro.core.odrips import ODRIPSController
+    from repro.sim.macro import cycles_for_horizon
+
+    workload = StandbyWorkloadConfig()
+    cycles = cycles_for_horizon(
+        7.0, workload.idle_interval_s, workload.maintenance_mean_s
+    )
+
+    reference = MACRO_EXACT_REFERENCE_CYCLES
+    t0 = time.perf_counter()
+    exact = ODRIPSController().measure_raw(cycles=reference)
+    exact_reference_s = time.perf_counter() - t0
+    macro_reference = ODRIPSController().measure_raw(cycles=reference, macro=True)
+
+    # the differential gate: bit-for-bit, not within-tolerance
+    assert macro_reference.average_power_w == exact.average_power_w
+    assert macro_reference.residency == exact.residency
+    assert macro_reference.entry_latencies_ps == exact.entry_latencies_ps
+    assert macro_reference.exit_latencies_ps == exact.exit_latencies_ps
+    assert macro_reference.wake_events == exact.wake_events
+
+    result = run_once(
+        benchmark, ODRIPSController().measure_raw, cycles=cycles, macro=True
+    )
+    macro_s = min(benchmark.stats.stats.data)
+
+    assert result.macro is not None
+    cycles_compiled = result.macro["cycles_compiled"]
+    assert cycles_compiled >= cycles - 10  # nearly the whole week compiled
+    exact_week_s = exact_reference_s * (cycles / reference)
+    speedup = exact_week_s / macro_s
+    assert speedup >= MIN_MACRO_SPEEDUP
+    _results["macro_step_week"] = {
+        "wall_s": macro_s,
+        "horizon_days": 7.0,
+        "cycles": cycles,
+        "cycles_compiled": cycles_compiled,
+        "macro_steps": result.macro["macro_steps"],
+        "exact_reference_cycles": reference,
+        "exact_reference_wall_s": exact_reference_s,
+        "exact_wall_s": exact_week_s,
+        "exact_extrapolated": True,
+        "speedup": speedup,
+    }
+    emit(
+        f"macro week: {cycles} cycles ({cycles_compiled} compiled) in "
+        f"{macro_s * 1e3:.0f} ms vs exact {exact_week_s:.0f} s "
+        f"(extrapolated from {reference} cycles, {speedup:,.0f}x; "
+        "reference results bit-for-bit equal)"
+    )
+
+
 #: One shared parse must feed every source-analysis pass.  The floor is
 #: deliberately loose (the win is exactly 2x parse work today: dataflow
 #: + effects over one ModuleCache); what CI watches is the recorded

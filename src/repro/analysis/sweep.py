@@ -62,16 +62,29 @@ def sweep(
     a module-level function or a :func:`functools.partial` of one, not a
     lambda or closure.
 
+    On a single-CPU host a ``parallel=True`` request without an explicit
+    ``max_workers`` degrades to the serial path — a one-worker process
+    pool only adds pickling and fork overhead.  The run record notes the
+    degradation as ``backend: "serial-fallback"``; passing ``max_workers``
+    explicitly still forces a pool of that size.
+
     When a flight recorder is installed
     (:func:`repro.obs.runlog.active_recorder`) the sweep contributes its
-    fan-out shape — point count, parallelism, per-point wall times, and
-    the worker process ids that served them — to the enclosing run
-    record.
+    fan-out shape — point count, parallelism, backend, per-point wall
+    times, and the worker process ids that served them — to the
+    enclosing run record.
     """
     values = list(parameter_values)
     recorder = active_recorder()
     start_s = host_wall_s() if recorder is not None else 0.0
-    if not parallel or len(values) <= 1:
+    serial_fallback = (
+        parallel
+        and len(values) > 1
+        and max_workers is None
+        and (os.cpu_count() or 1) == 1
+    )
+    if not parallel or len(values) <= 1 or serial_fallback:
+        backend = "serial-fallback" if serial_fallback else "serial"
         if recorder is None:
             return [(value, experiment(value)) for value in values]
         timed = _TimedCall(experiment)
@@ -83,6 +96,7 @@ def sweep(
             wall_s=host_wall_s() - start_s,
             point_walls_s=[wall_s for _, wall_s, _ in outcomes],
             worker_pids=[pid for _, _, pid in outcomes],
+            backend=backend,
         )
         return [(value, result) for value, (result, _, _) in zip(values, outcomes)]
     from concurrent.futures import ProcessPoolExecutor
@@ -100,6 +114,7 @@ def sweep(
         wall_s=host_wall_s() - start_s,
         point_walls_s=[wall_s for _, wall_s, _ in outcomes],
         worker_pids=[pid for _, _, pid in outcomes],
+        backend="parallel",
     )
     return [(value, result) for value, (result, _, _) in zip(values, outcomes)]
 

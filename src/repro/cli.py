@@ -77,8 +77,29 @@ def _cache_of(args: argparse.Namespace):
     return getattr(args, "cache_obj", None)
 
 
+def _cycles_of(args: argparse.Namespace) -> int:
+    """Measured cycles for this run: ``--horizon DAYS`` wins over ``--cycles``.
+
+    A horizon converts through the default workload's cycle period
+    (idle interval + mean maintenance); week-scale horizons are only
+    practical together with ``--macro``.
+    """
+    horizon_days = getattr(args, "horizon", None)
+    if horizon_days is None:
+        return args.cycles
+    from repro.config import StandbyWorkloadConfig
+    from repro.sim.macro import cycles_for_horizon
+
+    workload = StandbyWorkloadConfig()
+    return cycles_for_horizon(
+        horizon_days, workload.idle_interval_s, workload.maintenance_mean_s
+    )
+
+
 def cmd_fig2(args: argparse.Namespace) -> None:
-    result = fig2_connected_standby(cycles=args.cycles, cache=_cache_of(args))
+    result = fig2_connected_standby(
+        cycles=_cycles_of(args), cache=_cache_of(args), macro=args.macro
+    )
     rows = [
         ["DRIPS residency", f"{result.drips_residency:.2%}", "99.5 %"],
         ["DRIPS power", f"{result.drips_power_mw:.1f} mW", "~60 mW"],
@@ -90,7 +111,9 @@ def cmd_fig2(args: argparse.Namespace) -> None:
 
 
 def cmd_fig6a(args: argparse.Namespace) -> None:
-    result = fig6a_techniques(cycles=args.cycles, cache=_cache_of(args))
+    result = fig6a_techniques(
+        cycles=_cycles_of(args), cache=_cache_of(args), macro=args.macro
+    )
     rows = [["Baseline (DRIPS)", f"{result.baseline_mw:.1f} mW", "-", "-"]]
     for row in result.rows:
         rows.append([row.label, f"{row.average_power_mw:.1f} mW",
@@ -109,7 +132,7 @@ def cmd_fig6a(args: argparse.Namespace) -> None:
 
 def cmd_fig6b(args: argparse.Namespace) -> None:
     rows = []
-    for row in fig6b_core_frequency(cycles=args.cycles):
+    for row in fig6b_core_frequency(cycles=_cycles_of(args), macro=args.macro):
         paper = "-" if row.paper_delta is None else f"{row.paper_delta:+.1%}"
         rows.append([f"{row.parameter:.1f} GHz", f"{row.average_power_mw:.2f} mW",
                      f"{row.delta_vs_reference:+.2%}", paper])
@@ -119,7 +142,7 @@ def cmd_fig6b(args: argparse.Namespace) -> None:
 
 def cmd_fig6c(args: argparse.Namespace) -> None:
     rows = []
-    for row in fig6c_dram_frequency(cycles=args.cycles):
+    for row in fig6c_dram_frequency(cycles=_cycles_of(args), macro=args.macro):
         paper = "-" if row.paper_delta is None else f"{row.paper_delta:+.1%}"
         rows.append([f"{row.parameter / 1e9:.3f} GHz", f"{row.average_power_mw:.2f} mW",
                      f"{row.delta_vs_reference:+.2%}", paper])
@@ -129,7 +152,9 @@ def cmd_fig6c(args: argparse.Namespace) -> None:
 
 def cmd_fig6d(args: argparse.Namespace) -> None:
     rows = []
-    for row in fig6d_emerging_memories(cycles=args.cycles, cache=_cache_of(args)):
+    for row in fig6d_emerging_memories(
+        cycles=_cycles_of(args), cache=_cache_of(args), macro=args.macro
+    ):
         rows.append([row.label, f"{row.average_power_mw:.1f} mW",
                      f"{row.saving_vs_baseline:.1%}", f"{row.paper_saving:.1%}"])
     print(format_table(["configuration", "avg power", "saving", "paper"], rows,
@@ -241,7 +266,7 @@ def cmd_battery(args: argparse.Namespace) -> None:
         ("ODRIPS-PCM", TechniqueSet.odrips_pcm()),
     ]:
         measurements[label] = ODRIPSController(techniques, cache=_cache_of(args)).measure(
-            cycles=args.cycles
+            cycles=_cycles_of(args), macro=args.macro
         ).average_power_w
     rows = [
         [label, f"{mw:.1f} mW", f"{days:.1f} days", f"{extra:+.1f} days"]
@@ -465,6 +490,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cycles", type=int, default=2,
         help="measured connected-standby cycles per configuration (default 2)",
+    )
+    perf_group = parser.add_argument_group("performance options")
+    perf_group.add_argument(
+        "--macro", dest="macro", action="store_true", default=False,
+        help="macro-step periodic standby cycles (bit-for-bit identical "
+             "results, orders of magnitude faster for long horizons)",
+    )
+    perf_group.add_argument(
+        "--no-macro", dest="macro", action="store_false",
+        help="force event-by-event simulation (default)",
+    )
+    perf_group.add_argument(
+        "--horizon", type=float, default=None, metavar="DAYS",
+        help="simulated horizon in days; overrides --cycles via the default "
+             "workload's cycle period (use with --macro for week scales)",
     )
     obs_group = parser.add_argument_group("observability options")
     obs_group.add_argument(

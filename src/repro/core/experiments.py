@@ -331,15 +331,18 @@ def fig2_connected_standby(
     config: Optional[PlatformConfig] = None,
     cycles: int = 2,
     cache: Optional["SimulationCache"] = None,
+    macro: bool = False,
 ) -> Fig2Result:
     """Reproduce the connected-standby picture of Fig. 2 (baseline).
 
     ``cache`` memoizes the baseline standby run so other drivers (fig6a,
-    fig6d, validation) sharing the cache reuse it.
+    fig6d, validation) sharing the cache reuse it.  ``macro`` enables the
+    cycle-compiled macro-stepping engine (bit-for-bit identical results
+    for this periodic workload; the flag is part of the cache key).
     """
     measurement = ODRIPSController(
         TechniqueSet.baseline(), config=config, cache=cache
-    ).measure(cycles=cycles)
+    ).measure(cycles=cycles, macro=macro)
     return Fig2Result(
         average_power_mw=measurement.average_power_w * 1e3,
         drips_power_mw=measurement.drips_power_w * 1e3,
@@ -411,6 +414,7 @@ def fig6a_techniques(
     with_break_even: bool = False,
     break_even_iterations: int = 10,
     cache: Optional["SimulationCache"] = None,
+    macro: bool = False,
 ) -> Fig6aResult:
     """Reproduce the Fig. 6(a) bars (and, optionally, the blue line).
 
@@ -421,11 +425,11 @@ def fig6a_techniques(
     """
     baseline = ODRIPSController(
         TechniqueSet.baseline(), config=config, cache=cache
-    ).measure(cycles=cycles)
+    ).measure(cycles=cycles, macro=macro)
     rows: List[Fig6aRow] = []
     for label, techniques in FIG6A_SETS:
         measurement = ODRIPSController(techniques, config=config, cache=cache).measure(
-            cycles=cycles
+            cycles=cycles, macro=macro
         )
         paper_saving, paper_be = FIG6A_PAPER[label]
         break_even_ms: Optional[float] = None
@@ -467,21 +471,21 @@ FIG6C_PAPER = {1.6e9: 0.0, 1.067e9: -0.003, 0.8e9: -0.007}
 
 
 def _odrips_average_at_core_freq(
-    freq_ghz: float, config: Optional[PlatformConfig], cycles: int
+    freq_ghz: float, config: Optional[PlatformConfig], cycles: int, macro: bool = False
 ) -> float:
     """Module-level (picklable) sweep point for Fig. 6(b)."""
     measurement = ODRIPSController(TechniqueSet.odrips(), config=config).measure(
-        cycles=cycles, core_freq_ghz=freq_ghz
+        cycles=cycles, core_freq_ghz=freq_ghz, macro=macro
     )
     return measurement.average_power_w
 
 
 def _odrips_average_at_dram_rate(
-    rate_hz: float, config: Optional[PlatformConfig], cycles: int
+    rate_hz: float, config: Optional[PlatformConfig], cycles: int, macro: bool = False
 ) -> float:
     """Module-level (picklable) sweep point for Fig. 6(c)."""
     measurement = ODRIPSController(TechniqueSet.odrips(), config=config).measure(
-        cycles=cycles, dram_rate_hz=rate_hz
+        cycles=cycles, dram_rate_hz=rate_hz, macro=macro
     )
     return measurement.average_power_w
 
@@ -527,16 +531,17 @@ def fig6b_core_frequency(
     frequencies_ghz: Tuple[float, ...] = (0.8, 1.0, 1.5),
     cycles: int = 2,
     parallel: bool = False,
+    macro: bool = False,
 ) -> List[SweepRow]:
     """Reproduce the core-frequency sweep of Fig. 6(b) (ODRIPS platform).
 
     ``parallel=True`` fans the sweep points out over worker processes;
     every point is an independent simulation, so the rows are identical
-    to the serial ones.
+    to the serial ones.  ``macro`` macro-steps each point's run.
     """
     points = sweep(
         frequencies_ghz,
-        partial(_odrips_average_at_core_freq, config=config, cycles=cycles),
+        partial(_odrips_average_at_core_freq, config=config, cycles=cycles, macro=macro),
         parallel=parallel,
     )
     return _sweep_rows(points, FIG6B_PAPER)
@@ -567,15 +572,16 @@ def fig6c_dram_frequency(
     rates_hz: Tuple[float, ...] = (1.6e9, 1.067e9, 0.8e9),
     cycles: int = 2,
     parallel: bool = False,
+    macro: bool = False,
 ) -> List[SweepRow]:
     """Reproduce the DRAM-frequency sweep of Fig. 6(c) (ODRIPS platform).
 
     ``parallel=True`` runs the sweep points in worker processes (see
-    :func:`fig6b_core_frequency`).
+    :func:`fig6b_core_frequency`).  ``macro`` macro-steps each point.
     """
     points = sweep(
         rates_hz,
-        partial(_odrips_average_at_dram_rate, config=config, cycles=cycles),
+        partial(_odrips_average_at_dram_rate, config=config, cycles=cycles, macro=macro),
         parallel=parallel,
     )
     return _sweep_rows(points, FIG6C_PAPER)
@@ -623,6 +629,7 @@ def fig6d_emerging_memories(
     cycles: int = 2,
     with_break_even: bool = False,
     cache: Optional["SimulationCache"] = None,
+    macro: bool = False,
 ) -> List[Fig6dRow]:
     """Reproduce Fig. 6(d): context stored in eMRAM / PCM main memory.
 
@@ -631,7 +638,7 @@ def fig6d_emerging_memories(
     """
     baseline = ODRIPSController(
         TechniqueSet.baseline(), config=config, cache=cache
-    ).measure(cycles=cycles)
+    ).measure(cycles=cycles, macro=macro)
     rows: List[Fig6dRow] = []
     for label, techniques in [
         ("ODRIPS", TechniqueSet.odrips()),
@@ -639,7 +646,7 @@ def fig6d_emerging_memories(
         ("ODRIPS-PCM", TechniqueSet.odrips_pcm()),
     ]:
         measurement = ODRIPSController(techniques, config=config, cache=cache).measure(
-            cycles=cycles
+            cycles=cycles, macro=macro
         )
         break_even_ms: Optional[float] = None
         if with_break_even:

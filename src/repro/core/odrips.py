@@ -104,8 +104,15 @@ class ODRIPSController:
         dram_rate_hz: Optional[float] = None,
         external_wakes: bool = False,
         period_s: Optional[float] = None,
+        macro: bool = False,
     ) -> StandbyMeasurement:
         """Run a connected-standby measurement and digest the result.
+
+        ``macro=True`` opts into cycle-compiled macro-stepping
+        (:mod:`repro.sim.macro`): bit-for-bit identical results for
+        periodic workloads, orders of magnitude faster for long horizons.
+        The flag participates in the cache key, so exact and macro runs
+        never share cache entries.
 
         With a :attr:`cache` configured, identical configurations return
         the memoized :class:`StandbyMeasurement` without re-simulating.
@@ -124,6 +131,7 @@ class ODRIPSController:
             "dram_rate_hz": dram_rate_hz,
             "external_wakes": external_wakes,
             "period_s": period_s,
+            "macro": macro,
         }
         cached = False
         if self.cache is not None:
@@ -153,6 +161,7 @@ class ODRIPSController:
         dram_rate_hz: Optional[float] = None,
         external_wakes: bool = False,
         period_s: Optional[float] = None,
+        macro: bool = False,
     ) -> StandbyMeasurement:
         with host_phase("build"):
             platform = self.build_platform()
@@ -167,6 +176,7 @@ class ODRIPSController:
                 maintenance_s=maintenance_s,
                 external_wakes=external_wakes,
                 period_s=period_s,
+                macro=macro,
             )
         with host_phase("simulate"):
             result = runner.run(cycles=cycles)
@@ -177,6 +187,7 @@ class ODRIPSController:
         cycles: int = 2,
         idle_interval_s: Optional[float] = None,
         maintenance_s: Optional[float] = None,
+        macro: bool = False,
     ) -> StandbyResult:
         """Run a measurement and return the full :class:`StandbyResult`."""
         platform = self.build_platform()
@@ -185,6 +196,7 @@ class ODRIPSController:
             workload=self.workload,
             idle_interval_s=idle_interval_s,
             maintenance_s=maintenance_s,
+            macro=macro,
         )
         return runner.run(cycles=cycles)
 

@@ -76,6 +76,15 @@ class WorkloadError(ReproError):
     """An invalid workload description (negative durations, bad phases)."""
 
 
+class MacroError(ReproError):
+    """A macro-stepping contract violation (:mod:`repro.sim.macro`).
+
+    Examples: a compiled cycle whose per-rail ledger energies do not sum
+    to the platform total, or a rail missing from the declared macro
+    ledger coverage.
+    """
+
+
 class MeasurementError(ReproError):
     """A misuse of the measurement instruments (analyzer, counters)."""
 

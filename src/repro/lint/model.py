@@ -95,6 +95,11 @@ class ModelView:
     #: Domains declared able to field a wake event while the platform
     #: idles (``safety_description()`` hook).
     wake_sources: Tuple[str, ...] = ()
+    #: Rails the macro-stepping executor declares it replays energy for
+    #: (``macro_description()`` hook).  None means the platform does not
+    #: support macro-stepping and owes no declaration; a tuple is checked
+    #: for full coverage of the live power tree by rule M308.
+    macro_ledger_rails: Optional[Tuple[str, ...]] = None
 
     # --- derived views used by several rules -----------------------------
 
@@ -176,6 +181,7 @@ def walk_model(root: Any) -> ModelView:
     view.flows = _flow_views_of(root)
     view.obs_spans = _obs_spans_of(root)
     view.clock_requirements, view.wake_sources = _safety_of(root)
+    view.macro_ledger_rails = _macro_of(root)
     return view
 
 
@@ -231,6 +237,19 @@ def _safety_of(root: Any) -> Tuple[Tuple[Tuple[str, str], ...], Tuple[str, ...]]
         for domain, clock in spec.get("clock_requirements", ())
     )
     return requirements, tuple(str(name) for name in spec.get("wake_sources", ()))
+
+
+def _macro_of(root: Any) -> Optional[Tuple[str, ...]]:
+    """Read the platform's declared macro ledger coverage (macro hook).
+
+    Platforms without a ``macro_description`` hook do not participate in
+    macro-stepping and map to None (rule M308 skips them).
+    """
+    describe = getattr(root, "macro_description", None)
+    if describe is None:
+        return None
+    spec = describe()
+    return tuple(str(name) for name in spec.get("ledger_rails", ()))
 
 
 def lint_model_view(view: ModelView) -> List[Diagnostic]:

@@ -449,6 +449,29 @@ def _check_flow_gated_domain(rule: ModelRule, view: ModelView) -> Iterator[Diagn
                 gated.pop(name, None)
 
 
+def _check_macro_ledger_coverage(rule: ModelRule, view: ModelView) -> Iterator[Diagnostic]:
+    declared = view.macro_ledger_rails
+    if declared is None:
+        return  # platform does not support macro-stepping; nothing to cover
+    declared_set = set(declared)
+    live = {rail.name for rail in view.tree_rails()}
+    for name in sorted(live - declared_set):
+        yield rule.diagnostic(
+            f"rail {name!r} exists in the power tree but is missing from the "
+            "macro ledger declaration, so a compiled standby cycle would drop "
+            "its energy from the per-segment ledger balance",
+            obj=f"rail {name}",
+            hint="add it to the ledger_rails of macro_description()",
+        )
+    for name in sorted(declared_set - live):
+        yield rule.diagnostic(
+            f"macro ledger declares rail {name!r} but no such rail exists in "
+            "the power tree (stale declaration)",
+            obj=f"rail {name}",
+            hint="remove it from the ledger_rails of macro_description()",
+        )
+
+
 def _rule(
     rule_id: str,
     name: str,
@@ -495,4 +518,6 @@ MODEL_RULES: Tuple[ModelRule, ...] = (
           _check_flow_gated_domain),
     _rule("M306", "flow-span-discipline", "instrumented flow step must open and close its span",
           _check_flow_span_discipline),
+    _rule("M308", "macro-ledger-coverage", "macro ledger declaration must cover every powered rail",
+          _check_macro_ledger_coverage),
 )

@@ -8,6 +8,7 @@ Equation 1.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -30,13 +31,18 @@ def _clipped_intervals(
     return out
 
 
-def energy_by_state(
+def merge_state_power(
     trace: TraceRecorder, start_ps: int, end_ps: int
-) -> Dict[str, float]:
-    """Joules consumed in each platform state within the window.
+) -> List[Tuple[int, int, str, float]]:
+    """``(lo, hi, state, watts)`` segments merging state and power steps.
 
-    Merges the piecewise-constant ``platform`` power channel with the
-    ``state`` channel.
+    The common substrate of :func:`energy_by_state` and the
+    macro-stepping cycle compiler (:mod:`repro.sim.macro`): the window is
+    partitioned at every record of either channel, so each segment
+    carries one platform state and one constant battery-side power.
+    Segment boundaries depend only on the records inside the window —
+    the property that lets the macro executor compose per-cycle segment
+    lists into the exact run's segmentation bit-for-bit.
     """
     if end_ps <= start_ps:
         raise MeasurementError("empty measurement window")
@@ -44,7 +50,7 @@ def energy_by_state(
     state_steps = _clipped_intervals(trace, STATE_CHANNEL, start_ps, end_ps)
     if not power_steps or not state_steps:
         raise MeasurementError("trace has no samples inside the window")
-    energies: Dict[str, float] = {}
+    segments: List[Tuple[int, int, str, float]] = []
     state_index = 0
     for lo, hi, watts in power_steps:
         position = lo
@@ -58,10 +64,29 @@ def energy_by_state(
             segment_end = min(hi, s_hi)
             if segment_end <= position:
                 segment_end = hi  # state channel exhausted; stay on last value
-            duration_s = (segment_end - position) / PICOSECONDS_PER_SECOND
-            energies[state] = energies.get(state, 0.0) + watts * duration_s
+            segments.append((position, segment_end, state, watts))
             position = segment_end
-    return energies
+    return segments
+
+
+def energy_by_state(
+    trace: TraceRecorder, start_ps: int, end_ps: int
+) -> Dict[str, float]:
+    """Joules consumed in each platform state within the window.
+
+    Merges the piecewise-constant ``platform`` power channel with the
+    ``state`` channel.  Each per-state total is the correctly-rounded sum
+    (:func:`math.fsum`) of its segment energies, so the result depends
+    only on the *multiset* of segments — not their order — which is what
+    lets the macro-stepping executor reproduce it analytically,
+    bit-for-bit, without walking every cycle.
+    """
+    products: Dict[str, List[float]] = {}
+    for lo, hi, state, watts in merge_state_power(trace, start_ps, end_ps):
+        products.setdefault(state, []).append(
+            watts * ((hi - lo) / PICOSECONDS_PER_SECOND)
+        )
+    return {state: math.fsum(values) for state, values in products.items()}
 
 
 @dataclass
@@ -88,8 +113,13 @@ class ResidencyReport:
         return self.energy_j.get(state, 0.0) / (dwell / PICOSECONDS_PER_SECOND)
 
     def total_average_power(self) -> float:
-        """Average watts over the whole window (Equation 1's left side)."""
-        return sum(self.energy_j.values()) / self.window_s
+        """Average watts over the whole window (Equation 1's left side).
+
+        Correctly rounded over the per-state energies, so the total is
+        independent of state insertion order (exact and macro-stepped
+        runs build the dict along different walks).
+        """
+        return math.fsum(self.energy_j.values()) / self.window_s
 
     def equation1_terms(self) -> Dict[str, float]:
         """Per-state ``power x residency`` terms of Equation 1, in watts."""

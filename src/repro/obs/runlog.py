@@ -154,13 +154,22 @@ class RunRecorder:
         wall_s: float,
         point_walls_s: List[float],
         worker_pids: List[int],
+        backend: Optional[str] = None,
     ) -> None:
-        """One sweep fan-out (from :func:`repro.analysis.sweep.sweep`)."""
+        """One sweep fan-out (from :func:`repro.analysis.sweep.sweep`).
+
+        ``backend`` names the execution strategy actually used —
+        ``"serial"``, ``"parallel"``, or ``"serial-fallback"`` when a
+        parallel request degraded to serial on a single-CPU host.
+        """
+        if backend is None:
+            backend = "parallel" if parallel else "serial"
         self._pending_sweeps.append(
             {
                 "points": points,
                 "parallel": parallel,
                 "workers": workers,
+                "backend": backend,
                 "wall_s": wall_s,
                 "point_walls_s": point_walls_s,
                 "worker_pids": sorted(set(worker_pids)),

@@ -39,6 +39,7 @@ FLOW_TRACK = "flows"
 PMU_TRACK = "pmu"
 WAKE_TRACK = "wake"
 MEASURE_TRACK = "measure"
+MACRO_TRACK = "macro"
 
 
 class Span:

@@ -60,6 +60,33 @@ class EnergyMeter:
         for entry in self._channels.values():
             entry.advance(time_ps)
 
+    def inject(self, time_ps: int, energy_joules: Dict[str, float]) -> None:
+        """Jump every channel to ``time_ps``, crediting precomputed energy.
+
+        The macro-stepping seam (:mod:`repro.sim.macro`): when compiled
+        standby cycles are skipped with a kernel time warp, the per-channel
+        energy of the skipped span is known analytically, so each listed
+        channel is credited its joules directly and its integration anchor
+        moved past the warp.  Channels without an entry in
+        ``energy_joules`` are integrated normally (their power level is
+        assumed to hold across the span).  Callers must integrate up to
+        the pre-warp time first (:meth:`advance`) so the credit covers
+        exactly the warped span.
+        """
+        for channel, joules in energy_joules.items():
+            entry = self._channels.get(channel)
+            if entry is None:
+                entry = self._channels[channel] = _Channel(time_ps)
+            if time_ps < entry.last_update_ps:
+                raise MeasurementError(
+                    f"meter time went backwards: {time_ps} < {entry.last_update_ps}"
+                )
+            entry.energy_joules += joules
+            entry.last_update_ps = time_ps
+        for channel, entry in self._channels.items():
+            if channel not in energy_joules:
+                entry.advance(time_ps)
+
     # --- queries ---------------------------------------------------------
 
     def power(self, channel: str) -> float:

@@ -99,6 +99,10 @@ BENCH_POLICIES: Tuple[BenchPolicy, ...] = (
         "check_shared_parse", "parse_speedup", "floor", 1.1,
         "one ModuleCache parse must feed every source-analysis pass",
     ),
+    BenchPolicy(
+        "macro_step_week", "speedup", "floor", 100.0,
+        "cycle-compiled macro-stepping must keep week-long horizons interactive",
+    ),
 )
 
 

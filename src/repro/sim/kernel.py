@@ -14,7 +14,7 @@ scan or sort the queue.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -202,6 +202,40 @@ class Kernel:
                 f"t={head.time_ps}ps ({head.label or 'anon'})"
             )
         self._now_ps = time_ps
+
+    def warp(self, delta_ps: int) -> None:
+        """Shift simulated time and every queued event forward by ``delta_ps``.
+
+        The macro-stepping primitive (:mod:`repro.sim.macro`): skipping k
+        compiled standby cycles is one uniform shift of the clock and the
+        queue.  A uniform shift preserves both the heap invariant and the
+        relative firing order (time, then scheduling sequence), so the
+        pending events fire with exactly the delays they were scheduled
+        with — only k periods later on the absolute timeline.  Cancelled
+        entries still in the heap are shifted too, keeping the heap
+        totally consistent.
+        """
+        if delta_ps < 0:
+            raise SimulationError(f"cannot warp time backwards ({delta_ps}ps)")
+        if delta_ps == 0:
+            return
+        self._now_ps += delta_ps
+        for event in self._queue:
+            event.time_ps += delta_ps
+
+    def pending_signature(self) -> Tuple[Tuple[int, str], ...]:
+        """``(delay_ps, label)`` of every pending event, in firing order.
+
+        The macro-stepping cycle detector compares this signature across
+        cycle boundaries: two boundaries with equal signatures carry the
+        same future obligations, so a time warp between them cannot
+        reorder or drop work.
+        """
+        events = sorted(
+            (event for event in self._queue if event.pending),
+            key=lambda event: (event.time_ps, event.seq),
+        )
+        return tuple((event.time_ps - self._now_ps, event.label) for event in events)
 
     @property
     def pending_events(self) -> int:

@@ -1,0 +1,599 @@
+"""Cycle-compiled macro-stepping for periodic connected-standby runs.
+
+Connected standby is overwhelmingly periodic: after boot transients die
+out, every cycle of the Fig. 2 workload — Active maintenance, entry
+flow, DRIPS residency, exit flow — repeats bit-for-bit on a fixed
+period.  Simulating week-long horizons event by event therefore redoes
+identical work tens of thousands of times.
+
+This module exploits that steady state in three stages:
+
+* **Detect** — at every wake-to-active boundary the
+  :class:`MacroEngine` fingerprints the cycle that just completed: the
+  trace samples it appended (as channel/offset/value tuples relative to
+  the cycle start, with the ``wake`` channel normalized because its
+  value embeds the absolute wake time), its duration, its wake event,
+  its entry/exit flow latencies, the meter channel set, and the kernel's
+  pending-event signature at both boundaries.  Two consecutive cycles
+  with equal fingerprints prove periodic steady state.
+* **Compile** — the matched cycle becomes a :class:`CompiledCycle`: its
+  duration, wake-event template, flow latencies, per-meter-channel
+  energy deltas, per-rail energies, and the cycle's merged
+  state-power *segment list* — the closed-form residency vector one
+  period contributes.  Compilation also proves the ledger balanced: the
+  per-rail trace energies of the cycle must sum to the platform-channel
+  energy within :attr:`MacroConfig.ledger_tolerance`, and every rail
+  channel must appear in the platform's declared macro ledger coverage
+  (lint rule M308 checks the same declaration statically).
+* **Execute** — instead of re-simulating, the engine advances N cycles
+  per macro-step in O(1) *simulation* work: it warps the kernel clock
+  (:meth:`~repro.sim.kernel.Kernel.warp`) past the skipped span, credits
+  the meter the compiled energy deltas
+  (:meth:`~repro.power.meter.EnergyMeter.inject`), extends the wake log
+  and flow statistics, and appends one *summary interval* per power
+  channel to the trace — the cycle-average power held across the span,
+  restored to the boundary value at span end — so naive trace consumers
+  (the analyzer, the obs energy ledger, Perfetto exports) integrate the
+  span to the right energy without per-cycle samples.  The state channel
+  carries the :data:`MACRO_STATE` marker across the span.
+
+The measured results stay **bit-for-bit identical** to an event-by-event
+run for pure-periodic workloads: :func:`macro_residency_report` composes
+the per-state energies from the exactly-simulated regions plus
+N-weighted per-cycle segment sums using exact rational arithmetic
+(:class:`fractions.Fraction`), while the event-by-event path sums the
+same segment multiset with :func:`math.fsum` — both are correctly
+rounded, so they agree to the last bit.  Dwell times are integer
+picoseconds and compose exactly.
+
+Irregular points fall back to event-by-event execution: with external
+wakes enabled the engine consumes one inter-wake RNG draw per skipped
+cycle — exactly as the event-by-event run would — and stops the
+macro-step just before a cycle whose draw would fire, stashing the draw
+for the exactly-simulated fallback cycle.  A cycle whose fingerprint
+mismatches (external wake, parameter change, randomized maintenance)
+de-compiles the steady state; macro mode re-engages once two
+consecutive cycles match again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import MacroError, MeasurementError
+from repro.io.wake import WakeEvent, WakeEventType
+from repro.measure.residency import ResidencyReport, merge_state_power
+from repro.sim.trace import TraceBlock, TraceRecorder
+from repro.system.states import POWER_CHANNEL, STATE_CHANNEL, WAKE_CHANNEL
+from repro.units import PICOSECONDS_PER_SECOND
+
+#: Trace-channel prefix of the per-rail power channels (mirrors
+#: :data:`repro.obs.ledger.RAIL_CHANNEL_PREFIX` without importing obs).
+_RAIL_PREFIX = "rail:"
+
+#: Value the ``state`` trace channel carries across a compiled span.  A
+#: naive residency walk over a macro trace reports this pseudo-state for
+#: the skipped cycles instead of silently misattributing them; the
+#: macro-aware :func:`macro_residency_report` replaces it with the exact
+#: per-state split.
+MACRO_STATE = "macro:compiled"
+
+#: Rails whose ``rail:<name>`` channels a compiled cycle accounts for —
+#: the macro executor's declared energy-ledger coverage.  The platform
+#: exposes this through ``macro_description()`` and lint rule M308
+#: cross-checks it against the live power tree, so a rail added to the
+#: model without extending this declaration fails ``repro lint`` instead
+#: of silently dropping energy from compiled segments.
+MACRO_LEDGER_RAILS: Tuple[str, ...] = (
+    "board",
+    "chipset_aon",
+    "compute",
+    "proc_aon",
+    "sram_retention",
+)
+
+
+@dataclass(frozen=True)
+class MacroConfig:
+    """Tuning knobs of the macro-stepping executor."""
+
+    #: Completed cycles before a macro-step may engage.  Detection needs
+    #: two consecutive bit-for-bit cycles regardless, so the earliest
+    #: possible skip is at the end of cycle ``max(warmup_cycles, 1) + 2``.
+    warmup_cycles: int = 1
+    #: Upper bound on cycles skipped per macro-step (None: no bound).
+    max_skip: Optional[int] = None
+    #: Relative slack for the compiled-segment ledger balance proof.
+    ledger_tolerance: float = 1e-9
+
+
+@dataclass
+class MacroStats:
+    """Counters describing what the engine did during one run."""
+
+    cycles_compiled: int = 0
+    macro_steps: int = 0
+    fallbacks: int = 0
+    fingerprint_mismatches: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "cycles_compiled": self.cycles_compiled,
+            "macro_steps": self.macro_steps,
+            "fallbacks": self.fallbacks,
+            "fingerprint_mismatches": self.fingerprint_mismatches,
+        }
+
+
+@dataclass(frozen=True)
+class _Boundary:
+    """Everything snapshotted at one wake-to-active cycle boundary."""
+
+    time_ps: int
+    trace_index: int
+    wake_index: int
+    entry_len: int
+    exit_len: int
+    meter_energy_j: Dict[str, float]
+    pending: Tuple[Tuple[int, str], ...]
+
+
+@dataclass(frozen=True)
+class CompiledCycle:
+    """One steady-state cycle, compiled for analytic replay."""
+
+    duration_ps: int
+    wake_offset_ps: int
+    wake_type: WakeEventType
+    wake_detail: str
+    entry_latencies_ps: Tuple[int, ...]
+    exit_latencies_ps: Tuple[int, ...]
+    #: Exact per-meter-channel joules of one cycle.
+    meter_delta_j: Dict[str, float]
+    #: Battery-side joules of one cycle (ledger-balance audit trail).
+    platform_energy_j: float
+    #: Joules of one cycle per ``rail:<name>`` channel.
+    rail_energy_j: Dict[str, float]
+    #: Merged state-power segments of one cycle, offsets relative to the
+    #: cycle start: ``(lo_off, hi_off, state, watts)`` — the residency
+    #: vector :func:`macro_residency_report` replays.
+    segments: Tuple[Tuple[int, int, str, float], ...]
+    #: Per-state dwell picoseconds of one cycle (segments summed).
+    state_dwell_ps: Dict[str, int]
+    #: Per-state exact rational energy of one cycle: the sum of the very
+    #: float products the event-by-event walk would feed ``fsum``.
+    state_energy: Dict[str, Fraction]
+    #: Each summarized power channel's value at the cycle boundary,
+    #: restored at span end so post-span intervals read correctly.
+    boundary_values: Dict[str, Any]
+    #: The platform state at the cycle boundary (restored at span end).
+    boundary_state: Any
+
+
+@dataclass(frozen=True)
+class MacroSpan:
+    """One executed macro-step: ``cycles`` compiled cycles from ``start_ps``."""
+
+    start_ps: int
+    cycles: int
+    compiled: CompiledCycle
+
+    @property
+    def end_ps(self) -> int:
+        return self.start_ps + self.cycles * self.compiled.duration_ps
+
+
+def _integrate_joules(
+    trace: TraceRecorder, channel: str, start_ps: int, end_ps: int
+) -> float:
+    """Exact integral of a piecewise-constant power channel, in joules."""
+    total = 0.0
+    for lo, hi, watts in trace.intervals(channel, end_ps, start_ps=start_ps):
+        lo = max(lo, start_ps)
+        hi = min(hi, end_ps)
+        if hi > lo:
+            total += watts * ((hi - lo) / PICOSECONDS_PER_SECOND)
+    return total
+
+
+def cycles_for_horizon(
+    horizon_days: float,
+    idle_interval_s: float,
+    maintenance_s: float,
+) -> int:
+    """Standby cycles covering ``horizon_days`` of simulated time.
+
+    The CLI's ``--horizon`` helper: one cycle is roughly one idle
+    interval plus one maintenance burst (flow latencies are microseconds
+    and do not move the count).
+    """
+    if horizon_days <= 0:
+        raise MacroError(f"horizon must be positive (got {horizon_days} days)")
+    period_s = idle_interval_s + maintenance_s
+    return max(1, round(horizon_days * 86400.0 / period_s))
+
+
+def macro_residency_report(
+    trace: TraceRecorder,
+    start_ps: int,
+    end_ps: int,
+    spans: List[MacroSpan],
+) -> ResidencyReport:
+    """A :class:`ResidencyReport` over a window containing macro spans.
+
+    Walks the exactly-simulated regions of the trace and composes the
+    compiled spans analytically: whole skipped cycles contribute
+    ``N x`` the compiled per-state segment sums, and a window edge that
+    lands inside a span clips the compiled segment list at the same
+    offsets the event-by-event walk would clip its intervals.  Per-state
+    energies accumulate as exact rationals and round once at the end, so
+    they equal the event-by-event :func:`math.fsum` result bit-for-bit.
+    """
+    if end_ps <= start_ps:
+        raise MeasurementError("empty measurement window")
+    dwell: Dict[str, int] = {}
+    energy: Dict[str, Fraction] = {}
+
+    def add(state: str, duration_ps: int, watts: float) -> None:
+        dwell[state] = dwell.get(state, 0) + duration_ps
+        energy[state] = energy.get(state, Fraction()) + Fraction(
+            watts * (duration_ps / PICOSECONDS_PER_SECOND)
+        )
+
+    def add_exact(lo: int, hi: int) -> None:
+        for seg_lo, seg_hi, state, watts in merge_state_power(trace, lo, hi):
+            add(state, seg_hi - seg_lo, watts)
+
+    def add_partial(compiled: CompiledCycle, lo_off: int, hi_off: int) -> None:
+        for seg_lo, seg_hi, state, watts in compiled.segments:
+            lo = max(seg_lo, lo_off)
+            hi = min(seg_hi, hi_off)
+            if hi > lo:
+                add(state, hi - lo, watts)
+
+    cursor = start_ps
+    for span in sorted(spans, key=lambda s: s.start_ps):
+        lo = max(span.start_ps, start_ps)
+        hi = min(span.end_ps, end_ps)
+        if hi <= lo:
+            continue
+        if lo > cursor:
+            add_exact(cursor, lo)
+        compiled = span.compiled
+        period = compiled.duration_ps
+        first_cycle, head_off = divmod(lo - span.start_ps, period)
+        last_cycle, tail_off = divmod(hi - span.start_ps, period)
+        if first_cycle == last_cycle:
+            add_partial(compiled, head_off, tail_off)
+        else:
+            if head_off:
+                add_partial(compiled, head_off, period)
+            full = last_cycle - first_cycle - (1 if head_off else 0)
+            if full:
+                for state, cycle_dwell in compiled.state_dwell_ps.items():
+                    dwell[state] = dwell.get(state, 0) + full * cycle_dwell
+                for state, frac in compiled.state_energy.items():
+                    energy[state] = energy.get(state, Fraction()) + full * frac
+            if tail_off:
+                add_partial(compiled, 0, tail_off)
+        cursor = hi
+    if cursor < end_ps:
+        add_exact(cursor, end_ps)
+    if not dwell:
+        raise MeasurementError("trace has no samples inside the window")
+    return ResidencyReport(
+        window_ps=end_ps - start_ps,
+        dwell_ps=dwell,
+        energy_j={state: float(frac) for state, frac in energy.items()},
+    )
+
+
+class MacroEngine:
+    """Steady-state detector + cycle compiler + macro-stepping executor.
+
+    Owned by :class:`~repro.workloads.standby.ConnectedStandbyRunner`
+    when macro mode is requested; driven from the runner's wake-to-active
+    callback via :meth:`at_boundary`.
+    """
+
+    def __init__(self, platform, config: Optional[MacroConfig] = None) -> None:
+        self.platform = platform
+        self.config = config if config is not None else MacroConfig()
+        self.stats = MacroStats()
+        #: Executed macro-steps, in time order — the spans
+        #: :func:`macro_residency_report` replays analytically.
+        self.spans: List[MacroSpan] = []
+        self._prev_boundary: Optional[_Boundary] = None
+        self._prev_fingerprint: Optional[Tuple] = None
+        self._compiled: Optional[CompiledCycle] = None
+
+    # --- the boundary hook ------------------------------------------------
+
+    def at_boundary(self, runner) -> int:
+        """Called at each wake-to-active boundary; returns cycles skipped.
+
+        The runner has just counted one completed cycle.  The engine
+        captures it, compares it against the previous cycle, and — once
+        two consecutive cycles match bit-for-bit — compiles the cycle
+        and advances through as many of the remaining cycles as the
+        irregularity sources allow.
+        """
+        if runner.randomize_maintenance:
+            return 0  # per-cycle RNG maintenance: never periodic, never skip
+        now = self.platform.kernel.now
+        boundary = self._snapshot(runner, now)
+        prev = self._prev_boundary
+        self._prev_boundary = boundary
+        if prev is None:
+            return 0
+        captured = self._capture_cycle(runner, prev, boundary)
+        if captured is None:
+            self._note_break()
+            self._prev_fingerprint = None
+            return 0
+        fingerprint, wake = captured
+        if fingerprint != self._prev_fingerprint:
+            if self._prev_fingerprint is not None:
+                self._note_break()
+            self._prev_fingerprint = fingerprint
+            return 0
+        # periodic steady state: two consecutive bit-for-bit cycles
+        if runner._cycles_done < max(self.config.warmup_cycles, 1) + 2:
+            return 0
+        remaining = runner._cycles_target - runner._cycles_done
+        if remaining <= 0:
+            return 0
+        if self._compiled is None:
+            self._compiled = self._compile(prev, boundary, fingerprint, wake)
+        skipped = self._execute_skip(runner, self._compiled, boundary, remaining)
+        if skipped:
+            # the post-skip boundary is a replica of this one, k periods on
+            self._prev_boundary = self._snapshot(
+                runner, self.platform.kernel.now
+            )
+        return skipped
+
+    # --- detection --------------------------------------------------------
+
+    def _snapshot(self, runner, now: int) -> _Boundary:
+        p = self.platform
+        p.meter.advance(now)
+        return _Boundary(
+            time_ps=now,
+            trace_index=len(p.trace),
+            wake_index=len(p.wake_log),
+            entry_len=len(runner.flows.stats.entry_latencies_ps),
+            exit_len=len(runner.flows.stats.exit_latencies_ps),
+            meter_energy_j={name: p.meter.energy(name) for name in p.meter.channels()},
+            pending=p.kernel.pending_signature(),
+        )
+
+    def _capture_cycle(
+        self, runner, prev: _Boundary, boundary: _Boundary
+    ) -> Optional[Tuple[Tuple, WakeEvent]]:
+        """Fingerprint the cycle between two boundaries (None: uncompilable)."""
+        p = self.platform
+        duration = boundary.time_ps - prev.time_ps
+        if duration <= 0:
+            return None
+        wakes = p.wake_log[prev.wake_index : boundary.wake_index]
+        if len(wakes) != 1 or "@" in wakes[0].detail:
+            return None  # multi-wake cycles / time-bearing details stay exact
+        wake = wakes[0]
+        block: TraceBlock = p.trace.block_since(prev.trace_index, prev.time_ps)
+        normalized: List[Tuple[str, int, Any]] = []
+        wake_entries = 0
+        for channel, offset, value in block.entries:
+            if channel == WAKE_CHANNEL:
+                wake_entries += 1
+                # the wake value embeds the absolute wake time; compare
+                # the time-free template instead
+                normalized.append(
+                    (channel, offset, (wake.event_type.value, wake.detail))
+                )
+            else:
+                normalized.append((channel, offset, value))
+        if wake_entries != 1:
+            return None
+        fingerprint = (
+            duration,
+            tuple(normalized),
+            (wake.event_type, wake.time_ps - prev.time_ps, wake.detail),
+            prev.pending,
+            boundary.pending,
+            tuple(
+                runner.flows.stats.entry_latencies_ps[prev.entry_len : boundary.entry_len]
+            ),
+            tuple(
+                runner.flows.stats.exit_latencies_ps[prev.exit_len : boundary.exit_len]
+            ),
+            frozenset(boundary.meter_energy_j),
+        )
+        return fingerprint, wake
+
+    def _note_break(self) -> None:
+        self.stats.fingerprint_mismatches += 1
+        if self._compiled is not None:
+            self.stats.fallbacks += 1
+            self._compiled = None
+
+    # --- compilation ------------------------------------------------------
+
+    def _compile(
+        self,
+        prev: _Boundary,
+        boundary: _Boundary,
+        fingerprint: Tuple,
+        wake: WakeEvent,
+    ) -> CompiledCycle:
+        p = self.platform
+        duration = boundary.time_ps - prev.time_ps
+        platform_energy, rail_energy = self._check_ledger_balance(
+            prev.time_ps, boundary.time_ps
+        )
+        wake_offset = wake.time_ps - prev.time_ps
+        segments = tuple(
+            (lo - prev.time_ps, hi - prev.time_ps, state, watts)
+            for lo, hi, state, watts in merge_state_power(
+                p.trace, prev.time_ps, boundary.time_ps
+            )
+        )
+        state_dwell: Dict[str, int] = {}
+        state_energy: Dict[str, Fraction] = {}
+        for lo, hi, state, watts in segments:
+            state_dwell[state] = state_dwell.get(state, 0) + (hi - lo)
+            state_energy[state] = state_energy.get(state, Fraction()) + Fraction(
+                watts * ((hi - lo) / PICOSECONDS_PER_SECOND)
+            )
+        boundary_values = {
+            POWER_CHANNEL: p.trace.value_at(POWER_CHANNEL, boundary.time_ps),
+        }
+        for name in sorted(rail_energy):
+            channel = _RAIL_PREFIX + name
+            boundary_values[channel] = p.trace.value_at(channel, boundary.time_ps)
+        meter_delta = {
+            name: boundary.meter_energy_j[name] - prev.meter_energy_j.get(name, 0.0)
+            for name in boundary.meter_energy_j
+        }
+        return CompiledCycle(
+            duration_ps=duration,
+            wake_offset_ps=wake_offset,
+            wake_type=wake.event_type,
+            wake_detail=wake.detail,
+            entry_latencies_ps=fingerprint[5],
+            exit_latencies_ps=fingerprint[6],
+            meter_delta_j=meter_delta,
+            platform_energy_j=platform_energy,
+            rail_energy_j=rail_energy,
+            segments=segments,
+            state_dwell_ps=state_dwell,
+            state_energy=state_energy,
+            boundary_values=boundary_values,
+            boundary_state=p.trace.value_at(STATE_CHANNEL, boundary.time_ps),
+        )
+
+    def _check_ledger_balance(
+        self, start_ps: int, end_ps: int
+    ) -> Tuple[float, Dict[str, float]]:
+        """Prove one compiled segment keeps the energy ledger balanced.
+
+        Every rail channel the run recorded must be declared in the
+        platform's macro ledger coverage, and the per-rail energies of
+        the segment must sum to the battery-side platform energy.
+        Returns the platform energy and the per-rail energies of the
+        segment.
+        """
+        p = self.platform
+        trace = p.trace
+        rails = {
+            name[len(_RAIL_PREFIX) :]
+            for name in trace.channels()
+            if name.startswith(_RAIL_PREFIX)
+        }
+        describe = getattr(p, "macro_description", None)
+        if describe is not None:
+            declared = set(describe().get("ledger_rails", ()))
+            undeclared = sorted(rails - declared)
+            if undeclared:
+                raise MacroError(
+                    "rail(s) outside the declared macro ledger coverage: "
+                    + ", ".join(undeclared)
+                    + "; a compiled cycle would drop their energy from the ledger"
+                )
+        rail_energy = {
+            rail: _integrate_joules(trace, _RAIL_PREFIX + rail, start_ps, end_ps)
+            for rail in sorted(rails)
+        }
+        rail_total = sum(rail_energy.values())
+        platform_total = _integrate_joules(trace, POWER_CHANNEL, start_ps, end_ps)
+        slack = self.config.ledger_tolerance * max(abs(platform_total), 1e-12)
+        if abs(rail_total - platform_total) > slack:
+            raise MacroError(
+                f"compiled segment ledger unbalanced: rails sum to {rail_total!r} J "
+                f"but the platform channel carries {platform_total!r} J"
+            )
+        return platform_total, rail_energy
+
+    # --- execution --------------------------------------------------------
+
+    def _execute_skip(
+        self, runner, compiled: CompiledCycle, boundary: _Boundary, remaining: int
+    ) -> int:
+        p = self.platform
+        # never skip the final cycle: the run's closing wake then comes from
+        # exactly-simulated trace, so the standard wake-to-wake measurement
+        # window only ever crosses *whole* compiled spans — which keeps naive
+        # trace consumers (the obs energy ledger, the analyzer) exact instead
+        # of cycle-average-approximate at the window edge
+        cap = remaining - 1
+        if self.config.max_skip is not None:
+            cap = min(cap, self.config.max_skip)
+        skip = cap
+        if runner.external_wakes:
+            # consume one inter-wake draw per skipped cycle, exactly as the
+            # event-by-event run would; a draw that would fire ends the
+            # macro-step and is stashed for the exact fallback cycle
+            skip = 0
+            for _ in range(cap):
+                delay_s = runner._next_external_wake_delay()
+                if delay_s is not None and delay_s < runner.idle_interval_s * 0.9:
+                    runner._stash_external_wake_delay(delay_s)
+                    break
+                skip += 1
+        if skip <= 0:
+            return 0
+        start_ps = boundary.time_ps
+        period = compiled.duration_ps
+        end_ps = start_ps + skip * period
+        wake_log = p.wake_log
+        for j in range(skip):
+            wake_log.append(
+                WakeEvent(
+                    compiled.wake_type,
+                    start_ps + j * period + compiled.wake_offset_ps,
+                    detail=compiled.wake_detail,
+                )
+            )
+        stats = runner.flows.stats
+        stats.entry_latencies_ps.extend(list(compiled.entry_latencies_ps) * skip)
+        stats.exit_latencies_ps.extend(list(compiled.exit_latencies_ps) * skip)
+        # bulk interval append: one summary interval per power channel —
+        # the cycle-average level held across the span, restored to the
+        # boundary value at span end — keeps naive trace consumers (the
+        # analyzer, the obs ledger) integrating the span to the right
+        # energy without per-cycle samples
+        period_s = period / PICOSECONDS_PER_SECOND
+        trace = p.trace
+        trace.record(start_ps, STATE_CHANNEL, MACRO_STATE)
+        trace.record(start_ps, POWER_CHANNEL, compiled.platform_energy_j / period_s)
+        for rail, joules in compiled.rail_energy_j.items():
+            trace.record(start_ps, _RAIL_PREFIX + rail, joules / period_s)
+        trace.record(end_ps, STATE_CHANNEL, compiled.boundary_state)
+        for channel, value in compiled.boundary_values.items():
+            trace.record(end_ps, channel, value)
+        self.spans.append(MacroSpan(start_ps, skip, compiled))
+        if runner.period_s is not None:
+            runner._period_index += skip
+        p.kernel.warp(skip * period)
+        p.meter.inject(
+            end_ps,
+            {name: joules * skip for name, joules in compiled.meter_delta_j.items()},
+        )
+        self.stats.cycles_compiled += skip
+        self.stats.macro_steps += 1
+        obs = p.obs
+        if obs is not None:
+            from repro.obs.tracer import MACRO_TRACK
+
+            span = obs.begin(
+                f"macro:compiled x{skip}",
+                start_ps,
+                track=MACRO_TRACK,
+                args={"cycles": skip, "period_ps": period},
+            )
+            obs.end(span, end_ps)
+            obs.metrics.counter("macro.cycles_compiled").inc(skip)
+            obs.metrics.counter("macro.steps").inc()
+        return skip

@@ -40,6 +40,25 @@ class _Channel:
         self.values: List[Any] = []
 
 
+class TraceBlock:
+    """A time-rebased bundle of samples captured from a recorder window.
+
+    Entries are ``(channel, offset_ps, value)`` in global append order,
+    with timestamps rebased to offsets from a caller-chosen origin, so
+    blocks captured at different absolute times compare equal when their
+    contents match — the fingerprint substrate of the cycle-compiled
+    macro-stepping detector (:mod:`repro.sim.macro`).
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: List[Tuple[str, int, Any]]) -> None:
+        self.entries = entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
 class TraceRecorder:
     """Append-only store of timestamped samples, indexed by channel."""
 
@@ -63,6 +82,20 @@ class TraceRecorder:
         self._order.append((column, len(times)))
         times.append(time_ps)
         column.values.append(value)
+
+    def block_since(self, index: int, base_ps: int) -> TraceBlock:
+        """Bundle every sample appended at global index >= ``index``.
+
+        Timestamps become offsets from ``base_ps``; entries keep their
+        global append order.  Callers snapshot ``len(recorder)`` at one
+        boundary and pass it here at the next, so capturing one standby
+        cycle is O(samples in the cycle), not O(recorder history).
+        """
+        entries = [
+            (column.name, column.times[i] - base_ps, column.values[i])
+            for column, i in self._order[index:]
+        ]
+        return TraceBlock(entries)
 
     # --- queries --------------------------------------------------------
 

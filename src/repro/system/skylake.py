@@ -466,6 +466,18 @@ class SkylakePlatform:
             "wake_sources": tuple(WAKE_SOURCE_DOMAINS),
         }
 
+    def macro_description(self) -> Dict[str, object]:
+        """Declared macro-stepping energy-ledger coverage (lint rule M308).
+
+        The macro executor replays compiled cycles per rail channel; a
+        rail powered in the model but missing here would silently drop
+        energy from compiled segments, so both the runtime balance check
+        and the lint rule compare against this declaration.
+        """
+        from repro.sim.macro import MACRO_LEDGER_RAILS
+
+        return {"ledger_rails": MACRO_LEDGER_RAILS}
+
     # ------------------------------------------------------------------ queries
 
     def platform_power(self) -> float:

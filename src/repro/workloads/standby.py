@@ -14,13 +14,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.config import StandbyWorkloadConfig
 from repro.errors import WorkloadError
 from repro.io.wake import WakeEventType
 from repro.measure.residency import ResidencyReport, residency_report
 from repro.obs.tracer import MEASURE_TRACK
+from repro.sim.macro import MacroConfig, MacroEngine, macro_residency_report
 from repro.system.flows import FlowController
 from repro.system.skylake import SkylakePlatform
 from repro.system.states import PlatformState
@@ -43,6 +44,8 @@ class StandbyResult:
     exit_latencies_ps: List[int] = field(default_factory=list)
     drips_breakdown_w: Dict[str, float] = field(default_factory=dict)
     wake_events: List[str] = field(default_factory=list)
+    #: Macro-stepping statistics (None for event-by-event runs).
+    macro: Optional[Dict[str, int]] = None
 
     @property
     def window_s(self) -> float:
@@ -73,6 +76,7 @@ class ConnectedStandbyRunner:
         randomize_maintenance: bool = False,
         external_wakes: bool = False,
         period_s: Optional[float] = None,
+        macro: Union[bool, MacroConfig] = False,
     ) -> None:
         """``idle_interval_s`` schedules the wake relative to DRIPS entry
         (free-running mode).  ``period_s`` instead fixes the whole cycle
@@ -80,6 +84,14 @@ class ConnectedStandbyRunner:
         matter how long the flows took, so technique transition overheads
         eat into idle residency.  The paper's break-even sweep (Sec. 7)
         holds the period fixed; pass ``period_s`` for that experiment.
+
+        ``macro`` enables cycle-compiled macro-stepping
+        (:mod:`repro.sim.macro`): once two consecutive cycles match
+        bit-for-bit the remaining periodic cycles are replayed
+        analytically instead of simulated, with event-by-event fallback
+        at irregular points.  Pass a :class:`MacroConfig` to tune it.
+        Randomized maintenance defeats periodicity, so it disables the
+        engine.
         """
         self.platform = platform
         self.workload = workload if workload is not None else StandbyWorkloadConfig()
@@ -95,6 +107,11 @@ class ConnectedStandbyRunner:
         self.randomize_maintenance = randomize_maintenance
         self.external_wakes = external_wakes
         self._rng = random.Random(self.workload.seed)
+        self._stashed_wake_delay_s: Optional[float] = None
+        self._macro_engine: Optional[MacroEngine] = None
+        if macro and not randomize_maintenance:
+            config = macro if isinstance(macro, MacroConfig) else None
+            self._macro_engine = MacroEngine(platform, config)
         self.flows = FlowController(platform)
         self.flows.set_active_callback(self._on_active)
         self._cycles_target = 0
@@ -160,11 +177,37 @@ class ConnectedStandbyRunner:
         if self.platform.state is PlatformState.DRIPS and not self._drips_breakdown:
             self._drips_breakdown = self.platform.power_breakdown()
 
-    def _maybe_schedule_external_wake(self) -> None:
+    def _next_external_wake_delay(self) -> Optional[float]:
+        """Next inter-wake delay draw in seconds (None: wakes disabled).
+
+        One draw per standby cycle, shared between the event-by-event
+        path and the macro-stepping executor so both consume the RNG
+        stream identically.  A delay stashed by
+        :meth:`_stash_external_wake_delay` is returned before drawing.
+        """
         rate_per_s = self.workload.external_wake_rate_per_hour / 3600.0
         if rate_per_s <= 0:
+            return None
+        if self._stashed_wake_delay_s is not None:
+            delay_s = self._stashed_wake_delay_s
+            self._stashed_wake_delay_s = None
+            return delay_s
+        return self._rng.expovariate(rate_per_s)
+
+    def _stash_external_wake_delay(self, delay_s: float) -> None:
+        """Hold a drawn delay for the next cycle's wake scheduling.
+
+        The macro executor stops skipping just before a cycle whose draw
+        would fire; stashing the draw lets the exactly-simulated fallback
+        cycle consume it, keeping the RNG stream aligned with an
+        event-by-event run.
+        """
+        self._stashed_wake_delay_s = delay_s
+
+    def _maybe_schedule_external_wake(self) -> None:
+        delay_s = self._next_external_wake_delay()
+        if delay_s is None:
             return
-        delay_s = self._rng.expovariate(rate_per_s)
         if delay_s < self.idle_interval_s * 0.9:
             self.platform.kernel.schedule(
                 seconds_to_ps(delay_s),
@@ -174,6 +217,9 @@ class ConnectedStandbyRunner:
 
     def _on_active(self, _event) -> None:
         self._cycles_done += 1
+        engine = self._macro_engine
+        if engine is not None and self._cycles_done < self._cycles_target + self._warmup:
+            self._cycles_done += engine.at_boundary(self)
         if self._cycles_done >= self._cycles_target + self._warmup:
             self._finished = True
             return
@@ -201,6 +247,9 @@ class ConnectedStandbyRunner:
         self._cycles_done = 0
         self._finished = False
         self._measure_start_ps = None
+        if self._macro_engine is not None:
+            # fresh detector state per run; the config carries over
+            self._macro_engine = MacroEngine(p, self._macro_engine.config)
         self._start_cycle()
         # generous event budget: each cycle is a handful of events
         p.kernel.run(max_events=self._cycles_target * 10_000 + 100_000)
@@ -219,7 +268,15 @@ class ConnectedStandbyRunner:
             window = obs.begin("measure:window", window_start, track=MEASURE_TRACK)
             obs.end(window, window_end)
         p.meter.advance(p.kernel.now)
-        report = residency_report(p.trace, window_start, window_end)
+        engine = self._macro_engine
+        if engine is not None and engine.spans:
+            # compiled spans carry summary trace records only; compose the
+            # exact per-state split analytically (bit-for-bit vs exact runs)
+            report = macro_residency_report(
+                p.trace, window_start, window_end, engine.spans
+            )
+        else:
+            report = residency_report(p.trace, window_start, window_end)
         average = report.total_average_power()
         return StandbyResult(
             cycles=cycles,
@@ -231,4 +288,9 @@ class ConnectedStandbyRunner:
             exit_latencies_ps=list(self.flows.stats.exit_latencies_ps),
             drips_breakdown_w=dict(self._drips_breakdown),
             wake_events=[str(event) for event in p.wake_log],
+            macro=(
+                self._macro_engine.stats.as_dict()
+                if self._macro_engine is not None
+                else None
+            ),
         )
