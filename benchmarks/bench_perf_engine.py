@@ -373,6 +373,68 @@ def test_macro_step_week(benchmark, emit):
     )
 
 
+#: Explaining the same run pair twice must hit the memoized profiles
+#: instead of re-simulating (the regress watchdog carries the same
+#: floor).  Kept loose: the win is two whole traced simulations.
+MIN_EXPLAIN_CACHE_SPEEDUP = 1.5
+
+
+def test_explain_fig2_delta(benchmark, emit):
+    """``repro explain`` on a perturbed fig2 pair: cold vs cache hit.
+
+    Cold builds two traced profiles (base + 20% DRAM self-refresh
+    perturbation); the rerun must serve both from the profile cache.
+    Also the purity gate for causal attribution: the traced profile's
+    scalar digest must equal an *untraced* run's measurement bit-for-bit
+    (causal tracing is read-only post-processing), and the
+    tracing-disabled cost of the causal seams stays under the existing
+    ``tracer_overhead_fig2`` guard asserted above — the seams explain
+    shares with the tracer are all behind the same ``obs is None`` check.
+    """
+    from repro.core.odrips import ODRIPSController
+    from repro.obs.diff import explain_simulate
+
+    PERTURB = "dram-self-refresh=1.2"
+    cache = SimulationCache()
+    t0 = time.perf_counter()
+    cold = explain_simulate("fig2", perturb=PERTURB, cycles=1, cache=cache)
+    cold_s = time.perf_counter() - t0
+
+    warm = run_once(
+        benchmark, explain_simulate, "fig2", perturb=PERTURB, cycles=1, cache=cache
+    )
+    warm_s = min(benchmark.stats.stats.data)
+
+    assert cache.stats.hits >= 2  # both profiles memoized on the rerun
+    assert warm["contributors"] == cold["contributors"]
+    top = cold["contributors"][0]
+    # the perturbed knob must rank first, deterministically: DRAM
+    # self-refresh drains the board rail during steady-idle DRIPS dwell
+    assert (top["domain"], top["state"], top["cause"]) == (
+        "board", "drips", "steady-idle",
+    )
+
+    dark = ODRIPSController().measure(cycles=1)
+    assert cold["base"]["metrics"]["average_power_w"] == dark.average_power_w
+    assert cold["base"]["metrics"]["drips_residency"] == dark.drips_residency
+
+    speedup = cold_s / warm_s
+    assert speedup >= MIN_EXPLAIN_CACHE_SPEEDUP
+    _results["explain_fig2_delta"] = {
+        "wall_s": warm_s,
+        "cold_wall_s": cold_s,
+        "speedup": speedup,
+        "contributors": len(cold["contributors"]),
+        "top_share": top["share"],
+        "cache_hits": cache.stats.hits,
+    }
+    emit(
+        f"explain fig2 delta: cold {cold_s:.2f} s, cached {warm_s * 1e3:.1f} ms "
+        f"({speedup:,.0f}x); top contributor {top['domain']}/{top['state']}/"
+        f"{top['cause']} at {top['share']:.0%}"
+    )
+
+
 #: One shared parse must feed every source-analysis pass.  The floor is
 #: deliberately loose (the win is exactly 2x parse work today: dataflow
 #: + effects over one ModuleCache); what CI watches is the recorded

@@ -292,7 +292,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         return 2
     out = args.out or f"trace-{target}.json"
     path = obs.write_chrome_trace(session.tracer, out, platform=session.platform)
-    print(obs.render_summary(session.tracer, ledger=session.ledger))
+    print(obs.render_summary(session.tracer, ledger=session.ledger,
+                             platform=session.platform))
     print()
     print(f"Chrome trace written to {path} - load it in Perfetto "
           "(ui.perfetto.dev) or chrome://tracing")
@@ -300,6 +301,51 @@ def cmd_trace(args: argparse.Namespace) -> int:
         jsonl_path = obs.write_jsonl(session.tracer, args.jsonl)
         print(f"JSONL event log written to {jsonl_path}")
     return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Explain the delta between two runs: ``python -m repro explain``.
+
+    Simulate mode compares two traced configurations (or one against a
+    perturbed copy of itself via ``--perturb KEY=FACTOR``) and ranks the
+    (domain x state x wake-cause) energy-delta contributors; ``--history``
+    compares the two most recent flight-recorder records of an
+    experiment instead.  Exit 0 on a ranked verdict, 1 when the runs are
+    incompatible (macro vs exact backend), 2 on usage errors.
+    """
+    import json as json_mod
+
+    from repro.errors import ConfigError, MeasurementError
+    from repro.obs.diff import explain_history, explain_simulate, render_explain
+
+    cache = None
+    if args.cache:
+        from repro.perf.cache import SimulationCache
+
+        cache = SimulationCache()
+    target = args.target or "fig2"
+    try:
+        if args.history:
+            payload = explain_history(target)
+        else:
+            payload = explain_simulate(
+                target,
+                target2=args.target2,
+                perturb=args.perturb,
+                cycles=args.cycles,
+                cache=cache,
+            )
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except MeasurementError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json_mod.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(render_explain(payload))
+    return 0 if payload["compatible"] else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -476,16 +522,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all", "check", "lint", "report", "trace"],
+        choices=sorted(COMMANDS) + ["all", "check", "explain", "lint", "report",
+                                    "trace"],
         help="which paper experiment to run ('lint' for static analysis, "
              "'check' for the exhaustive model checker, 'trace' for an "
-             "observed run with Perfetto export, 'report' for the "
+             "observed run with Perfetto export, 'explain' for the "
+             "differential drift explainer, 'report' for the "
              "golden-number regression watchdog)",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="trace: configuration to observe (fig2, baseline, wake-up-off, "
-             "aon-io-gate, ctx, odrips, odrips-mram, odrips-pcm; default fig2)",
+        help="trace/explain: configuration to observe (fig2, baseline, "
+             "wake-up-off, aon-io-gate, ctx, odrips, odrips-mram, odrips-pcm; "
+             "default fig2)",
+    )
+    parser.add_argument(
+        "target2", nargs="?", default=None,
+        help="explain: second configuration to diff the first against",
     )
     parser.add_argument(
         "--cycles", type=int, default=2,
@@ -579,6 +632,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-effects", dest="effects", action="store_false",
         help="check: skip the C5xx effect/determinism analysis",
     )
+    explain_group = parser.add_argument_group("explain options")
+    explain_group.add_argument(
+        "--perturb", metavar="KEY=FACTOR", default=None,
+        help="explain: diff the target against a perturbed copy of itself "
+             "(dram-self-refresh, external-wake-rate)",
+    )
+    explain_group.add_argument(
+        "--history", action="store_true",
+        help="explain: diff the two most recent flight-recorder records of "
+             "the target experiment instead of re-simulating",
+    )
     report_group = parser.add_argument_group("report options")
     report_group.add_argument(
         "--baseline", metavar="FILE", default=None,
@@ -607,6 +671,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_report(args)
     if args.experiment == "trace":
         return cmd_trace(args)
+    if args.experiment == "explain":
+        return cmd_explain(args)
 
     args.cache_obj = None
     if args.cache:
@@ -659,7 +725,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         print()
         print(obs.render_summary(tracer, include_spans=args.trace,
-                                 profiler=profiler))
+                                 profiler=profiler,
+                                 platform=tracer.platforms[-1]
+                                 if tracer.platforms else None))
     elif profiler is not None:
         from repro.obs.export import render_profile
 

@@ -16,8 +16,8 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.config import PlatformConfig, StandbyWorkloadConfig, skylake_config
 from repro.core.techniques import TechniqueSet
@@ -43,6 +43,8 @@ class StandbyMeasurement:
     entry_latency_us: float
     exit_latency_us: float
     drips_breakdown_w: Dict[str, float]
+    #: Macro-engine statistics of the run (None for exact runs).
+    macro: Optional[Dict[str, int]] = field(default=None)
 
     @classmethod
     def from_result(cls, label: str, result: StandbyResult) -> "StandbyMeasurement":
@@ -57,7 +59,21 @@ class StandbyMeasurement:
             entry_latency_us=(sum(entry) / len(entry) / 1e6) if entry else 0.0,
             exit_latency_us=(sum(exits) / len(exits) / 1e6) if exits else 0.0,
             drips_breakdown_w=result.drips_breakdown_w,
+            macro=result.macro,
         )
+
+    def macro_provenance(self) -> Dict[str, Any]:
+        """Backend provenance for the flight recorder and ``repro explain``.
+
+        The explainer refuses to diff a macro-stepped run against an
+        exact one, so every record says which backend produced it.
+        """
+        stats = self.macro or {}
+        return {
+            "enabled": self.macro is not None,
+            "cycles_compiled": int(stats.get("cycles_compiled", 0)),
+            "steps": int(stats.get("macro_steps", 0)),
+        }
 
     def saving_vs(self, baseline: "StandbyMeasurement") -> float:
         """Fractional average-power saving against ``baseline``."""
@@ -149,7 +165,12 @@ class ODRIPSController:
         else:
             result = self._measure_uncached(**arguments)
         if recorder is not None:
-            recorder.measurement(result.label, host_wall_s() - start_s, cached)
+            recorder.measurement(
+                result.label,
+                host_wall_s() - start_s,
+                cached,
+                macro=result.macro_provenance(),
+            )
         return result
 
     def _measure_uncached(

@@ -38,9 +38,11 @@ from repro.obs.tracer import (
     FLOW_STEP_TRACK,
     FLOW_TRACK,
     KERNEL_TRACK,
+    MACRO_TRACK,
     MEASURE_TRACK,
     PMU_TRACK,
     WAKE_TRACK,
+    CausalEdge,
     Instant,
     Span,
     Tracer,
@@ -61,6 +63,19 @@ _LAZY = {
     "TRACE_CONFIGS": "repro.obs.run",
     "TraceSession": "repro.obs.run",
     "run_traced": "repro.obs.run",
+    "CausalReport": "repro.obs.causal",
+    "attribution_cells": "repro.obs.causal",
+    "build_causal_report": "repro.obs.causal",
+    "flow_critical_paths": "repro.obs.causal",
+    "wake_cause": "repro.obs.causal",
+    "EXPLAIN_SCHEMA": "repro.obs.diff",
+    "RunProfile": "repro.obs.diff",
+    "diff_profiles": "repro.obs.diff",
+    "explain_history": "repro.obs.diff",
+    "explain_simulate": "repro.obs.diff",
+    "profile_config": "repro.obs.diff",
+    "render_explain": "repro.obs.diff",
+    "validate_explain_payload": "repro.obs.diff",
     "PhaseProfiler": "repro.obs.profile",
     "active_profiler": "repro.obs.profile",
     "host_phase": "repro.obs.profile",
@@ -77,7 +92,10 @@ _LAZY = {
 }
 
 __all__ = [
+    "CausalEdge",
+    "CausalReport",
     "Counter",
+    "EXPLAIN_SCHEMA",
     "EnergyLedger",
     "FLOW_STEP_TRACK",
     "FLOW_TRACK",
@@ -86,11 +104,13 @@ __all__ = [
     "Instant",
     "KERNEL_TRACK",
     "LedgerCell",
+    "MACRO_TRACK",
     "MEASURE_TRACK",
     "MetricsRegistry",
     "PMU_TRACK",
     "PhaseProfiler",
     "RunLog",
+    "RunProfile",
     "RunRecorder",
     "Span",
     "TRACE_CONFIGS",
@@ -100,7 +120,13 @@ __all__ = [
     "active",
     "active_profiler",
     "active_recorder",
+    "attribution_cells",
+    "build_causal_report",
     "chrome_trace",
+    "diff_profiles",
+    "explain_history",
+    "explain_simulate",
+    "flow_critical_paths",
     "git_revision",
     "host_phase",
     "install",
@@ -108,14 +134,18 @@ __all__ = [
     "install_recorder",
     "jsonl_lines",
     "observe",
+    "profile_config",
     "profiled",
     "recording",
+    "render_explain",
     "render_profile",
     "render_summary",
     "run_traced",
     "uninstall",
     "uninstall_profiler",
     "uninstall_recorder",
+    "validate_explain_payload",
+    "wake_cause",
     "write_chrome_trace",
     "write_jsonl",
 ]

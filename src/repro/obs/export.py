@@ -136,6 +136,7 @@ def chrome_trace(
         if instant.args:
             event["args"] = dict(instant.args)
         events.append(event)
+    events.extend(_flow_arrow_events(tracer, tracks))
     if platform is not None:
         events.extend(_platform_events(platform, tracks, end_ps))
     if profiler is not None:
@@ -149,8 +150,43 @@ def chrome_trace(
             "clock": "simulated",
             "spans": len(tracer.spans),
             "instants": len(tracer.instants),
+            "edges": len(tracer.edges),
         },
     }
+
+
+def _record_ts_ps(record: Any) -> int:
+    """Timeline position of a span/instant record (spans bind at start)."""
+    time_ps = getattr(record, "time_ps", None)
+    if time_ps is not None:
+        return time_ps
+    return record.start_ps
+
+
+def _flow_arrow_events(
+    tracer: Tracer, tracks: Dict[str, int]
+) -> Iterator[Dict[str, Any]]:
+    """Causal edges as Chrome trace flow arrows (``"s"``/``"f"`` pairs).
+
+    Each :class:`~repro.obs.tracer.CausalEdge` becomes one flow id: a
+    start event at the source record and a binding-enclosing finish at
+    the target, so Perfetto draws the kernel-event -> wake ->
+    entry/exit-flow chains as arrows across tracks.
+    """
+    for index, edge in enumerate(tracer.edges):
+        for phase, record in (("s", edge.source), ("f", edge.target)):
+            event: Dict[str, Any] = {
+                "name": edge.kind,
+                "cat": "causal",
+                "ph": phase,
+                "id": index,
+                "ts": _ts(_record_ts_ps(record)),
+                "pid": TRACE_PID,
+                "tid": tracks.get(record.track, 0),
+            }
+            if phase == "f":
+                event["bp"] = "e"
+            yield event
 
 
 def _profiler_events(profiler: PhaseProfiler) -> Iterator[Dict[str, Any]]:
@@ -262,6 +298,24 @@ def jsonl_lines(tracer: Tracer, profiler: Optional[PhaseProfiler] = None) -> Ite
         if instant.args:
             record["args"] = dict(instant.args)
         yield json.dumps(record, sort_keys=True)
+    for edge in tracer.edges:
+        yield json.dumps(
+            {
+                "type": "edge",
+                "kind": edge.kind,
+                "source": {
+                    "track": edge.source.track,
+                    "name": edge.source.name,
+                    "time_ps": _record_ts_ps(edge.source),
+                },
+                "target": {
+                    "track": edge.target.track,
+                    "name": edge.target.name,
+                    "time_ps": _record_ts_ps(edge.target),
+                },
+            },
+            sort_keys=True,
+        )
     snapshot = tracer.metrics.snapshot()
     for name, value in snapshot["counters"].items():
         yield json.dumps({"type": "counter", "name": name, "value": value}, sort_keys=True)
@@ -342,12 +396,15 @@ def render_summary(
     ledger: Optional[EnergyLedger] = None,
     include_spans: bool = True,
     profiler: Optional[PhaseProfiler] = None,
+    platform: Optional[Any] = None,
 ) -> str:
     """Aligned terminal digest of an observed run.
 
     ``include_spans=False`` restricts the digest to the metrics tables
     (the CLI's ``--metrics`` view).  ``profiler`` appends the
-    :func:`render_profile` host-phase table.
+    :func:`render_profile` host-phase table.  ``platform`` (with a
+    recorded measurement window) appends the wake-cause attribution and
+    flow critical-path tables from :mod:`repro.obs.causal`.
     """
     sections: List[str] = []
 
@@ -417,6 +474,47 @@ def render_summary(
                 format_table(["flow step", "domain", "energy"], rows,
                              title="Flow-step attribution (top cells)")
             )
+
+    if platform is not None and tracer.window_ps is not None:
+        from repro.errors import MeasurementError
+        from repro.obs.causal import build_causal_report
+
+        try:
+            report = build_causal_report(tracer, platform)
+        except MeasurementError:
+            report = None
+        if report is not None and report.rollups:
+            window = report.window_ps
+            rows = [
+                [
+                    rollup.cause,
+                    f"{rollup.energy_j * 1e3:,.3f} mJ",
+                    f"{rollup.residency(window):.4%}",
+                    rollup.events,
+                ]
+                for rollup in report.ranked_rollups()
+            ]
+            sections.append(
+                format_table(
+                    ["cause", "energy", "residency", "events"], rows,
+                    title="Wake-cause attribution",
+                )
+            )
+            rows = []
+            for path in report.critical_paths:
+                for label, total_ps, count in path.steps[:3]:
+                    share = total_ps / path.total_ps if path.total_ps else 0.0
+                    rows.append(
+                        [path.flow, label, count,
+                         f"{total_ps / 1e6:,.2f} us", f"{share:.1%}"]
+                    )
+            if rows:
+                sections.append(
+                    format_table(
+                        ["flow", "step", "count", "total sim time", "share"],
+                        rows, title="Flow critical path (top steps)",
+                    )
+                )
 
     if profiler is not None:
         phase_table = render_profile(profiler)

@@ -163,7 +163,12 @@ class EnergyLedger:
         return rows
 
     def step_rows(self, limit: Optional[int] = None) -> List[Tuple[str, str, float]]:
-        """``(span, domain, joules)`` rows, largest cells first."""
+        """``(span, domain, joules)`` rows, largest cells first.
+
+        When ``limit`` truncates the table, the dropped tail is rolled
+        into one explicit ``(+N more, X mJ)`` row instead of silently
+        vanishing — the rendered ledger always sums to the window total.
+        """
         table = self.span_domain_energy_j()
         rows = [
             (span, domain, joules)
@@ -171,6 +176,11 @@ class EnergyLedger:
             for domain, joules in per_domain.items()
         ]
         rows.sort(key=lambda row: -row[2])
-        if limit is not None:
+        if limit is not None and len(rows) > limit:
+            tail = rows[limit:]
+            tail_joules = sum(joules for _span, _domain, joules in tail)
             rows = rows[:limit]
+            rows.append(
+                (f"(+{len(tail)} more, {tail_joules * 1e3:,.3f} mJ)", "", tail_joules)
+            )
         return rows

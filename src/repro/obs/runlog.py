@@ -140,11 +140,25 @@ class RunRecorder:
 
     # --- seams ------------------------------------------------------------
 
-    def measurement(self, label: str, wall_s: float, cached: bool) -> None:
-        """One controller measurement (from ``ODRIPSController.measure``)."""
-        self._pending_measurements.append(
-            {"label": label, "wall_s": wall_s, "cached": cached}
-        )
+    def measurement(
+        self,
+        label: str,
+        wall_s: float,
+        cached: bool,
+        macro: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """One controller measurement (from ``ODRIPSController.measure``).
+
+        ``macro`` is the backend provenance
+        (``{"enabled", "cycles_compiled", "steps"}``): whether the run
+        was macro-stepped and how much of it was compiled.  It rolls up
+        into the enclosing experiment record so ``repro explain`` can
+        refuse to diff a macro run against an exact one.
+        """
+        entry = {"label": label, "wall_s": wall_s, "cached": cached}
+        if macro is not None:
+            entry["macro"] = macro
+        self._pending_measurements.append(entry)
 
     def sweep(
         self,
@@ -201,6 +215,21 @@ class RunRecorder:
             record["cache"] = cache_stats
         if self._pending_measurements:
             record["measurements"] = self._pending_measurements
+            provenance = [
+                m["macro"]
+                for m in self._pending_measurements
+                if isinstance(m.get("macro"), dict)
+            ]
+            if provenance:
+                # record-level backend provenance: an experiment counts as
+                # macro-stepped if any of its measurements was
+                record["macro"] = {
+                    "enabled": any(bool(p.get("enabled")) for p in provenance),
+                    "cycles_compiled": sum(
+                        int(p.get("cycles_compiled", 0)) for p in provenance
+                    ),
+                    "steps": sum(int(p.get("steps", 0)) for p in provenance),
+                }
             self._pending_measurements = []
         if self._pending_sweeps:
             record["sweeps"] = self._pending_sweeps

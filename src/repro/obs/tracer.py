@@ -41,6 +41,12 @@ WAKE_TRACK = "wake"
 MEASURE_TRACK = "measure"
 MACRO_TRACK = "macro"
 
+#: Causal-edge kinds threaded through the instrumented seams.
+EDGE_DELIVERY = "delivery"  # kernel event dispatch -> wake delivery
+EDGE_TRIGGER = "trigger"  # wake delivery -> exit flow it starts
+EDGE_FOLLOWUP = "followup"  # wake delivery -> entry flow closing its cycle
+EDGE_COMPILED = "compiled"  # wake template -> macro-compiled span (N cycles)
+
 
 class Span:
     """One named interval on a track of the simulated timeline.
@@ -94,6 +100,26 @@ class Instant:
         return f"<Instant {self.track}/{self.name} @{self.time_ps}>"
 
 
+class CausalEdge:
+    """A directed causal link between two trace records.
+
+    ``source`` and ``target`` are the :class:`Span`/:class:`Instant`
+    objects already held by the tracer — an edge adds no timeline records
+    of its own.  Edges are pure observation, like everything else here;
+    exporters render them as Perfetto flow arrows.
+    """
+
+    __slots__ = ("source", "target", "kind")
+
+    def __init__(self, source: Any, target: Any, kind: str) -> None:
+        self.source = source
+        self.target = target
+        self.kind = kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CausalEdge {self.kind} {self.source!r} -> {self.target!r}>"
+
+
 class Tracer:
     """Collects spans, instants and metrics from an observed run.
 
@@ -116,7 +142,11 @@ class Tracer:
         self.platforms: List[Any] = []
         #: Measurement window of the last observed run, set by the runner.
         self.window_ps: Optional[Tuple[int, int]] = None
+        #: Causal links between records, in record order.
+        self.edges: List[CausalEdge] = []
         self._open: List[Span] = []
+        self._last_kernel: Optional[Instant] = None
+        self._last_wake: Optional[Instant] = None
 
     # --- spans -----------------------------------------------------------
 
@@ -182,12 +212,49 @@ class Tracer:
         self.instants.append(record)
         return record
 
+    # --- causal edges ----------------------------------------------------
+
+    def link(self, source: Any, target: Any, kind: str) -> CausalEdge:
+        """Record a causal edge between two already-recorded records."""
+        edge = CausalEdge(source, target, kind)
+        self.edges.append(edge)
+        return edge
+
+    def flow_rooted(
+        self,
+        span: Span,
+        kind: str,
+        time_ps: int,
+        detail: str = "",
+        role: str = EDGE_TRIGGER,
+    ) -> None:
+        """Attribute a flow span to the wake event that caused it.
+
+        Called by the flow controller when an exit flow starts
+        (``EDGE_TRIGGER``) and when the following entry flow closes the
+        same standby cycle (``EDGE_FOLLOWUP``).  The root is the
+        ``wake:<kind>`` instant the wake hub already delivered; platforms
+        without a hub in the wake path (baseline timer wakes land in the
+        PMU directly) get a synthesized root instant so the wake-chain
+        graph stays uniform across technique sets.
+        """
+        root = self._last_wake
+        if root is None or root.time_ps != time_ps or root.name != f"wake:{kind}":
+            args = {"detail": detail} if detail else None
+            root = self.instant(f"wake:{kind}", time_ps, track=WAKE_TRACK, args=args)
+            if self._last_kernel is not None and self._last_kernel.time_ps == time_ps:
+                self.link(self._last_kernel, root, EDGE_DELIVERY)
+            self._last_wake = root
+        self.link(root, span, role)
+
     # --- instrumentation callbacks --------------------------------------
 
     def kernel_event(self, label: str, time_ps: int) -> None:
         """One kernel event dispatch (called from :meth:`Kernel.step`)."""
         name = label or "anon"
-        self.instants.append(Instant(name, KERNEL_TRACK, time_ps, None))
+        record = Instant(name, KERNEL_TRACK, time_ps, None)
+        self.instants.append(record)
+        self._last_kernel = record
         self.metrics.counter(f"kernel.events:{name}").inc()
 
     def pmu_transition(self, old_mode: str, new_mode: str, time_ps: int) -> None:
@@ -200,7 +267,11 @@ class Tracer:
     def wake_delivered(self, kind: str, time_ps: int, detail: str = "") -> None:
         """One wake-hub delivery (called from ``WakeHub._dispatch``)."""
         args = {"detail": detail} if detail else None
-        self.instants.append(Instant(f"wake:{kind}", WAKE_TRACK, time_ps, args))
+        record = Instant(f"wake:{kind}", WAKE_TRACK, time_ps, args)
+        self.instants.append(record)
+        if self._last_kernel is not None and self._last_kernel.time_ps == time_ps:
+            self.link(self._last_kernel, record, EDGE_DELIVERY)
+        self._last_wake = record
         self.metrics.counter(f"wake.delivered:{kind}").inc()
 
     def attach_platform(self, platform: Any) -> None:

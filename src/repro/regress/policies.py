@@ -103,6 +103,10 @@ BENCH_POLICIES: Tuple[BenchPolicy, ...] = (
         "macro_step_week", "speedup", "floor", 100.0,
         "cycle-compiled macro-stepping must keep week-long horizons interactive",
     ),
+    BenchPolicy(
+        "explain_fig2_delta", "speedup", "floor", 1.5,
+        "explaining a cached pair must reuse the memoized run profiles",
+    ),
 )
 
 

@@ -168,6 +168,7 @@ def build_report(
         finding.update(policy.evaluate(float(value)))
         findings.append(finding)
 
+    _attach_explains(findings, runlog)
     drift = [finding for finding in findings if not finding["within"]]
     return {
         "schema": REPORT_SCHEMA,
@@ -180,6 +181,28 @@ def build_report(
         "drift": len(drift),
         "ok": not drift,
     }
+
+
+def _attach_explains(findings: List[Dict[str, Any]], runlog: RunLog) -> None:
+    """Embed a drift explainer into every drifted golden finding.
+
+    The digest is the history-mode ``repro explain`` between the
+    experiment's latest two records (top metric deltas, backend
+    compatibility, config-fingerprint drift) — so the watchdog's verdict
+    says not just *that* a golden drifted but what moved since the last
+    recorded run.  With fewer than two records the finding stays bare.
+    """
+    from repro.obs.diff import explain_summary
+
+    summaries: Dict[str, Optional[Dict[str, Any]]] = {}
+    for finding in findings:
+        if finding.get("source") != "golden" or finding["within"]:
+            continue
+        experiment = finding["experiment"]
+        if experiment not in summaries:
+            summaries[experiment] = explain_summary(experiment, runlog=runlog)
+        if summaries[experiment] is not None:
+            finding["explain"] = summaries[experiment]
 
 
 # --- rendering ----------------------------------------------------------------
@@ -237,6 +260,12 @@ def render_text(report: Dict[str, Any]) -> str:
                 title=f"Benchmark policies ({report['bench_path']})",
             )
         )
+    explain_lines = _explain_lines(report)
+    if explain_lines:
+        sections.append(
+            "Drift explainers (latest vs previous recorded run)\n"
+            + "\n".join(f"  {line}" for line in explain_lines)
+        )
     if report["missing"]:
         rows = [
             [
@@ -261,6 +290,33 @@ def render_text(report: Dict[str, Any]) -> str:
         f"in {report['runlog']}"
     )
     return "\n\n".join(sections)
+
+
+def _explain_lines(report: Dict[str, Any]) -> List[str]:
+    """One digest line per drifted experiment that has an explainer."""
+    explains: Dict[str, Dict[str, Any]] = {}
+    for finding in report["findings"]:
+        explain = finding.get("explain")
+        if isinstance(explain, dict):
+            explains.setdefault(finding["experiment"], explain)
+    lines: List[str] = []
+    for experiment in sorted(explains):
+        explain = explains[experiment]
+        if not explain.get("compatible", True):
+            lines.append(f"{experiment}: {explain.get('reason', 'incompatible runs')}")
+            continue
+        note = " [config changed]" if explain.get("config_drift") else ""
+        tops = []
+        for row in explain.get("top", []):
+            entry = f"{row['metric']} {row['delta']:+.4g}"
+            if row.get("relative") is not None:
+                entry += f" ({row['relative']:+.2%})"
+            tops.append(entry)
+        lines.append(
+            f"{experiment}{note}: "
+            + (", ".join(tops) if tops else "no metric movement between runs")
+        )
+    return lines
 
 
 def render_html(report: Dict[str, Any]) -> str:
@@ -311,6 +367,11 @@ def render_html(report: Dict[str, Any]) -> str:
         parts.append(f"<h2>Benchmark policies ({escape(report['bench_path'])})</h2>")
         parts.append(table(["bench", "figure", "value", "policy", "status"],
                            bench_rows))
+    explain_lines = _explain_lines(report)
+    if explain_lines:
+        parts.append("<h2>Drift explainers</h2><ul>")
+        parts.extend(f"<li>{escape(line)}</li>" for line in explain_lines)
+        parts.append("</ul>")
     if missing_rows:
         parts.append("<h2>Skipped checks</h2>")
         parts.append(table(["source", "subject", "metric", "reason"], missing_rows))

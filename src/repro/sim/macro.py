@@ -585,15 +585,36 @@ class MacroEngine:
         self.stats.macro_steps += 1
         obs = p.obs
         if obs is not None:
-            from repro.obs.tracer import MACRO_TRACK
+            from repro.obs.tracer import EDGE_COMPILED, MACRO_TRACK
 
+            # per-cycle attribution rides on the summary span, so causal
+            # consumers (repro.obs.causal, `repro explain`) can expand the
+            # span into N wake-rooted cycles without per-cycle records
             span = obs.begin(
                 f"macro:compiled x{skip}",
                 start_ps,
                 track=MACRO_TRACK,
-                args={"cycles": skip, "period_ps": period},
+                args={
+                    "cycles": skip,
+                    "period_ps": period,
+                    "wake_type": compiled.wake_type.value,
+                    "wake_detail": compiled.wake_detail,
+                    "cycle_state_dwell_ps": dict(compiled.state_dwell_ps),
+                    "cycle_state_energy_j": {
+                        state: float(frac)
+                        for state, frac in compiled.state_energy.items()
+                    },
+                    "cycle_rail_energy_j": dict(compiled.rail_energy_j),
+                },
             )
             obs.end(span, end_ps)
+            obs.flow_rooted(
+                span,
+                compiled.wake_type.value,
+                start_ps + compiled.wake_offset_ps,
+                detail=compiled.wake_detail,
+                role=EDGE_COMPILED,
+            )
             obs.metrics.counter("macro.cycles_compiled").inc(skip)
             obs.metrics.counter("macro.steps").inc()
         return skip

@@ -22,7 +22,7 @@ from repro.core.techniques import ContextStore
 from repro.errors import FlowError
 from repro.io.pml import PMLMessage
 from repro.io.wake import WakeEvent, WakeEventType
-from repro.obs.tracer import FLOW_TRACK
+from repro.obs.tracer import EDGE_FOLLOWUP, EDGE_TRIGGER, FLOW_TRACK
 from repro.sim.process import Process
 from repro.system.states import FLOW_CHANNEL, PlatformState
 
@@ -137,6 +137,9 @@ class FlowController:
         self.obs = getattr(platform, "obs", None)
         self._step_span = None
         self._flow_span = None
+        #: Wake event of the current standby cycle (causal root for the
+        #: exit flow it triggers and the entry flow that closes the cycle).
+        self._last_wake_event: Optional[WakeEvent] = None
         platform.pmu.set_wake_callback(self._on_pmu_timer_wake)
         platform.chipset.wake_hub.set_wake_callback(self._on_hub_wake)
 
@@ -168,13 +171,28 @@ class FlowController:
                 obs.end(self._step_span, now)
             self._step_span = obs.begin(label, now)
 
-    def _flow_begin(self, name: str) -> None:
-        """Open the whole-flow span (no-op without a tracer)."""
+    def _flow_begin(
+        self, name: str, cause: Optional[WakeEvent] = None, role: str = EDGE_TRIGGER
+    ) -> None:
+        """Open the whole-flow span (no-op without a tracer).
+
+        ``cause`` threads the causal edge: the wake event that triggered
+        an exit flow (``EDGE_TRIGGER``) or whose standby cycle the next
+        entry flow closes (``EDGE_FOLLOWUP``).
+        """
         obs = self.obs
         if obs is not None:
             self._flow_span = obs.begin(
                 name, self.platform.kernel.now, track=FLOW_TRACK
             )
+            if cause is not None:
+                obs.flow_rooted(
+                    self._flow_span,
+                    cause.event_type.value,
+                    cause.time_ps,
+                    detail=cause.detail,
+                    role=role,
+                )
 
     def _flow_end(self) -> None:
         """Close the trailing step span and the whole-flow span."""
@@ -208,7 +226,7 @@ class FlowController:
         trans = p.config.transitions
         techniques = p.techniques
         t0 = p.kernel.now
-        self._flow_begin("drips-entry")
+        self._flow_begin("drips-entry", cause=self._last_wake_event, role=EDGE_FOLLOWUP)
         p.set_transition_state(PlatformState.ENTRY)
 
         # compute domains quiesce first: the cores entered their own idle
@@ -467,6 +485,7 @@ class FlowController:
         if self._in_flow:
             raise FlowError("a flow is already in progress")
         self._in_flow = True
+        self._last_wake_event = event
         p.record_wake(event)
         Process(p.kernel, self._exit_flow(event), name="drips-exit")
 
@@ -475,7 +494,7 @@ class FlowController:
         trans = p.config.transitions
         techniques = p.techniques
         t0 = p.kernel.now
-        self._flow_begin("drips-exit")
+        self._flow_begin("drips-exit", cause=event)
         p.set_transition_state(PlatformState.EXIT)
         self._step("exit:wake")
 

@@ -142,7 +142,7 @@ class TestChromeTraceExport:
     def test_every_event_well_formed(self, document):
         for event in document["traceEvents"]:
             assert event["pid"] == TRACE_PID
-            assert event["ph"] in {"M", "X", "B", "i", "C"}
+            assert event["ph"] in {"M", "X", "B", "i", "C", "s", "f"}
             if event["ph"] == "X":
                 assert event["dur"] >= 0.0
             if event["ph"] != "M":
