@@ -19,6 +19,9 @@ Examples::
     python -m repro fig6a --cache  # memoized runs + hit/miss stats
     python -m repro fig2 --profile # host-phase wall time + peak allocations
     python -m repro report --json  # regression watchdog over the run history
+    python -m repro metrics --openmetrics     # OpenMetrics text exposition
+    python -m repro fig6b --parallel --heartbeat  # live sweep telemetry
+    python -m repro dash           # static fleet dashboard (dash.html)
 
 Every experiment run is recorded by the flight recorder to
 ``.repro/runs/runs.jsonl`` (opt out with ``--no-runlog``); ``report``
@@ -132,7 +135,10 @@ def cmd_fig6a(args: argparse.Namespace) -> None:
 
 def cmd_fig6b(args: argparse.Namespace) -> None:
     rows = []
-    for row in fig6b_core_frequency(cycles=_cycles_of(args), macro=args.macro):
+    for row in fig6b_core_frequency(
+        cycles=_cycles_of(args), macro=args.macro,
+        parallel=getattr(args, "parallel", False),
+    ):
         paper = "-" if row.paper_delta is None else f"{row.paper_delta:+.1%}"
         rows.append([f"{row.parameter:.1f} GHz", f"{row.average_power_mw:.2f} mW",
                      f"{row.delta_vs_reference:+.2%}", paper])
@@ -142,7 +148,10 @@ def cmd_fig6b(args: argparse.Namespace) -> None:
 
 def cmd_fig6c(args: argparse.Namespace) -> None:
     rows = []
-    for row in fig6c_dram_frequency(cycles=_cycles_of(args), macro=args.macro):
+    for row in fig6c_dram_frequency(
+        cycles=_cycles_of(args), macro=args.macro,
+        parallel=getattr(args, "parallel", False),
+    ):
         paper = "-" if row.paper_delta is None else f"{row.paper_delta:+.1%}"
         rows.append([f"{row.parameter / 1e9:.3f} GHz", f"{row.average_power_mw:.2f} mW",
                      f"{row.delta_vs_reference:+.2%}", paper])
@@ -303,6 +312,86 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run one observed experiment and expose its live telemetry.
+
+    ``--openmetrics`` renders the OpenMetrics text exposition (tracer
+    counters/histograms + streaming aggregates + heartbeats); without it
+    the human-readable span/metric digest prints instead.  ``--out``
+    writes the exposition to a file; ``--heartbeat [DIR]`` mirrors
+    heartbeats to per-source JSON files for concurrent dashboard reads.
+    """
+    from repro import obs
+    from repro.errors import ConfigError
+    from repro.obs.openmetrics import render_openmetrics
+    from repro.obs.stream import TelemetryStream, streaming
+
+    target = args.target or "fig2"
+    stream = TelemetryStream(heartbeat_dir=getattr(args, "heartbeat", None))
+    try:
+        with streaming(stream):
+            session = obs.run_traced(target, cycles=args.cycles)
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.openmetrics:
+        text = render_openmetrics(session.tracer.metrics, stream)
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(text, encoding="utf-8")
+            print(f"OpenMetrics exposition written to {args.out}")
+        else:
+            print(text, end="")
+    else:
+        print(obs.render_summary(session.tracer, ledger=session.ledger,
+                                 platform=session.platform))
+    return 0
+
+
+def cmd_dash(args: argparse.Namespace) -> int:
+    """Build the static fleet dashboard: ``python -m repro dash``.
+
+    Joins the flight-recorder history, BENCH_perf.json, live heartbeat
+    files (``--heartbeat [DIR]``), and — unless ``--static`` — the
+    per-cause energy rollup of a fresh observed fig2 run into one
+    self-contained HTML page (default ``dash.html``; override with
+    ``--out``).
+    """
+    from repro.errors import ConfigError, MeasurementError
+    from repro.obs.dash import build_dashboard, write_dashboard
+    from repro.regress.report import DEFAULT_BENCH_PATH
+
+    causal = None
+    if not args.static:
+        from repro import obs
+        from repro.obs.causal import build_causal_report
+
+        try:
+            session = obs.run_traced(args.target or "fig2", cycles=args.cycles)
+            causal = build_causal_report(
+                session.tracer, session.platform
+            ).as_dict()
+        except ConfigError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        except MeasurementError as error:
+            # the causal section is advisory; the joined stores still render
+            print(f"warning: causal section skipped: {error}", file=sys.stderr)
+    data = build_dashboard(
+        bench_path=args.bench or DEFAULT_BENCH_PATH,
+        heartbeat_dir=getattr(args, "heartbeat", None),
+        causal=causal,
+    )
+    path = write_dashboard(args.out or "dash.html", data)
+    print(
+        f"dashboard written to {path} - {len(data['records'])} run record(s), "
+        f"{len(data['heartbeats'])} heartbeat(s), "
+        f"{len(data['anomalies'])} anomaly advisories"
+    )
+    return 0
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     """Explain the delta between two runs: ``python -m repro explain``.
 
@@ -394,6 +483,12 @@ def _default_lint_root() -> str:
     from repro.lint.source import default_source_root
 
     return str(default_source_root())
+
+
+def _default_heartbeat_dir() -> str:
+    from repro.obs.stream import DEFAULT_HEARTBEAT_DIR
+
+    return DEFAULT_HEARTBEAT_DIR
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -522,13 +617,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all", "check", "explain", "lint", "report",
-                                    "trace"],
+        choices=sorted(COMMANDS) + ["all", "check", "dash", "explain", "lint",
+                                    "metrics", "report", "trace"],
         help="which paper experiment to run ('lint' for static analysis, "
              "'check' for the exhaustive model checker, 'trace' for an "
              "observed run with Perfetto export, 'explain' for the "
              "differential drift explainer, 'report' for the "
-             "golden-number regression watchdog)",
+             "golden-number regression watchdog, 'metrics' for the "
+             "OpenMetrics exposition, 'dash' for the fleet dashboard)",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -588,6 +684,27 @@ def build_parser() -> argparse.ArgumentParser:
     obs_group.add_argument(
         "--no-runlog", action="store_true",
         help="do not record this run to the .repro/runs flight recorder",
+    )
+    obs_group.add_argument(
+        "--heartbeat", nargs="?", metavar="DIR", default=None,
+        const=_default_heartbeat_dir(),
+        help="stream live telemetry (bounded histograms + per-source "
+             "progress heartbeats) and mirror heartbeats to DIR "
+             "(default .repro/heartbeats)",
+    )
+    obs_group.add_argument(
+        "--openmetrics", action="store_true",
+        help="metrics: render the OpenMetrics text exposition instead of "
+             "the human-readable digest",
+    )
+    obs_group.add_argument(
+        "--static", action="store_true",
+        help="dash: skip the fresh observed run (no per-cause energy "
+             "section; joins the stores only)",
+    )
+    perf_group.add_argument(
+        "--parallel", action="store_true",
+        help="fig6b/fig6c: fan sweep points out over worker processes",
     )
     parser.add_argument(
         "--break-even", action="store_true",
@@ -673,6 +790,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_trace(args)
     if args.experiment == "explain":
         return cmd_explain(args)
+    if args.experiment == "metrics":
+        return cmd_metrics(args)
+    if args.experiment == "dash":
+        return cmd_dash(args)
 
     args.cache_obj = None
     if args.cache:
@@ -690,6 +811,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.profile import PhaseProfiler, install_profiler
 
         profiler = install_profiler(PhaseProfiler(track_allocations=True))
+    stream = None
+    if args.heartbeat is not None:
+        from repro.obs.stream import TelemetryStream, install_stream
+
+        stream = install_stream(TelemetryStream(heartbeat_dir=args.heartbeat))
     recorder = None
     if not args.no_runlog:
         from repro.obs.runlog import install_recorder
@@ -708,6 +834,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             with host_phase("analyze"):
                 COMMANDS[args.experiment](args)
     finally:
+        if stream is not None:
+            from repro.obs.stream import uninstall_stream
+
+            uninstall_stream()
         if recorder is not None:
             from repro.obs.runlog import uninstall_recorder
 
@@ -733,6 +863,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         print()
         print(render_profile(profiler))
+    if stream is not None and stream.heartbeats:
+        print()
+        sources = ", ".join(sorted(stream.heartbeats))
+        print(f"heartbeats: {sources} -> {stream.heartbeat_dir} "
+              f"({len(stream.histograms)} live histogram(s); "
+              f"watch with `python -m repro dash`)")
     if args.cache_obj is not None:
         stats = args.cache_obj.stats
         print()

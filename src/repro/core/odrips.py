@@ -24,6 +24,7 @@ from repro.core.techniques import TechniqueSet
 from repro.obs.profile import host_phase
 from repro.effects import declares_effects
 from repro.obs.runlog import active_recorder, host_wall_s
+from repro.obs.stream import active_stream
 from repro.system.skylake import SkylakePlatform
 from repro.workloads.standby import ConnectedStandbyRunner, StandbyResult
 
@@ -138,7 +139,10 @@ class ODRIPSController:
         wall time and cache-hit status are contributed to the run record.
         """
         recorder = active_recorder()
-        start_s = host_wall_s() if recorder is not None else 0.0
+        stream = active_stream()
+        start_s = (
+            host_wall_s() if (recorder is not None or stream is not None) else 0.0
+        )
         arguments = {
             "cycles": cycles,
             "idle_interval_s": idle_interval_s,
@@ -149,6 +153,22 @@ class ODRIPSController:
             "period_s": period_s,
             "macro": macro,
         }
+        if stream is not None:
+            # exemplar labels for the OpenMetrics exposition: which
+            # technique set and exact configuration produced the samples
+            from repro.perf.fingerprint import fingerprint  # import cycle guard
+
+            stream.set_label("experiment", self.techniques.label())
+            stream.set_label(
+                "fingerprint",
+                fingerprint(
+                    "ODRIPSController.measure",
+                    self.config,
+                    self.techniques,
+                    self.workload,
+                    arguments,
+                ),
+            )
         cached = False
         if self.cache is not None:
             key = self.cache.key(
@@ -171,6 +191,11 @@ class ODRIPSController:
                 cached,
                 macro=result.macro_provenance(),
             )
+        if stream is not None:
+            stream.histogram("measure.average_power_w").observe(
+                result.average_power_w
+            )
+            stream.histogram("measure.wall_s").observe(host_wall_s() - start_s)
         return result
 
     def _measure_uncached(

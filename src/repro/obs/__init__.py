@@ -7,9 +7,13 @@ histograms, an :class:`EnergyLedger` attributing per-domain energy to
 flow steps, and exporters for Chrome trace JSON (Perfetto), JSONL, and
 terminal summaries.  Two host-side companions watch the repo itself: the
 :mod:`~repro.obs.runlog` flight recorder (one JSON record per experiment
-run under ``.repro/runs/``, consumed by ``python -m repro report``) and
-the :mod:`~repro.obs.profile` phase profiler (host wall time and peak
-allocations per build/simulate/measure/analyze phase).
+run under ``.repro/runs/``, consumed by ``python -m repro report``), the
+:mod:`~repro.obs.profile` phase profiler (host wall time and peak
+allocations per build/simulate/measure/analyze phase), and the
+:mod:`~repro.obs.stream` live-telemetry pipeline (bounded histograms,
+heartbeats, and rolling windows feeding the
+:mod:`~repro.obs.openmetrics` exposition and the
+:mod:`~repro.obs.dash` fleet dashboard).
 
 Quick start::
 
@@ -33,7 +37,13 @@ instrumented modules (kernel, flows, PMU, cache, analyzer) import
 """
 
 from repro.obs.ledger import EnergyLedger, LedgerCell
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    BoundedHistogram,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.obs.tracer import (
     FLOW_STEP_TRACK,
     FLOW_TRACK,
@@ -89,9 +99,27 @@ _LAZY = {
     "install_recorder": "repro.obs.runlog",
     "recording": "repro.obs.runlog",
     "uninstall_recorder": "repro.obs.runlog",
+    "RollingWindow": "repro.obs.stream",
+    "TelemetryStream": "repro.obs.stream",
+    "active_stream": "repro.obs.stream",
+    "install_stream": "repro.obs.stream",
+    "merge_worker_heartbeats": "repro.obs.stream",
+    "read_heartbeat_dir": "repro.obs.stream",
+    "record_worker_point": "repro.obs.stream",
+    "streaming": "repro.obs.stream",
+    "uninstall_stream": "repro.obs.stream",
+    "openmetrics_lines": "repro.obs.openmetrics",
+    "render_openmetrics": "repro.obs.openmetrics",
+    "validate_openmetrics": "repro.obs.openmetrics",
+    "write_openmetrics": "repro.obs.openmetrics",
+    "build_dashboard": "repro.obs.dash",
+    "detect_anomalies": "repro.obs.dash",
+    "render_dashboard": "repro.obs.dash",
+    "write_dashboard": "repro.obs.dash",
 }
 
 __all__ = [
+    "BoundedHistogram",
     "CausalEdge",
     "CausalReport",
     "Counter",
@@ -109,10 +137,12 @@ __all__ = [
     "MetricsRegistry",
     "PMU_TRACK",
     "PhaseProfiler",
+    "RollingWindow",
     "RunLog",
     "RunProfile",
     "RunRecorder",
     "Span",
+    "TelemetryStream",
     "TRACE_CONFIGS",
     "TraceSession",
     "Tracer",
@@ -120,9 +150,12 @@ __all__ = [
     "active",
     "active_profiler",
     "active_recorder",
+    "active_stream",
     "attribution_cells",
     "build_causal_report",
+    "build_dashboard",
     "chrome_trace",
+    "detect_anomalies",
     "diff_profiles",
     "explain_history",
     "explain_simulate",
@@ -132,22 +165,34 @@ __all__ = [
     "install",
     "install_profiler",
     "install_recorder",
+    "install_stream",
     "jsonl_lines",
+    "merge_worker_heartbeats",
     "observe",
+    "openmetrics_lines",
     "profile_config",
     "profiled",
+    "read_heartbeat_dir",
+    "record_worker_point",
     "recording",
+    "render_dashboard",
     "render_explain",
+    "render_openmetrics",
     "render_profile",
     "render_summary",
     "run_traced",
+    "streaming",
     "uninstall",
     "uninstall_profiler",
     "uninstall_recorder",
+    "uninstall_stream",
     "validate_explain_payload",
+    "validate_openmetrics",
     "wake_cause",
     "write_chrome_trace",
+    "write_dashboard",
     "write_jsonl",
+    "write_openmetrics",
 ]
 
 

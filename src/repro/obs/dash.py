@@ -1,0 +1,469 @@
+"""The fleet dashboard: ``python -m repro dash``.
+
+Joins every telemetry store the repo accumulates into one static,
+self-contained HTML page (no scripts, no external assets):
+
+* the flight recorder's run history (``.repro/runs/runs.jsonl``) — run
+  table, run-duration and average-power histograms (via
+  :class:`~repro.obs.metrics.BoundedHistogram`), cache hit-rate trend,
+  and per-experiment wall-time sparklines;
+* the microbenchmark figures in ``BENCH_perf.json``, with their
+  :mod:`repro.regress.policies` verdicts;
+* live heartbeat files from a streaming run's ``--heartbeat`` directory
+  (:mod:`repro.obs.stream`) and an optional in-process stream snapshot;
+* the per-cause energy rollup of a fresh observed run (PR 8's causal
+  attribution; skipped with ``--static``).
+
+:func:`detect_anomalies` flags runs whose latest wall time or metrics
+sit far outside their own history — a robust z-score over the series
+(median/MAD, cutoff 3.5) cross-checked against an EWMA of the prior
+points — and the same advisories surface as a non-gating section in
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.html import (
+    bar_cell,
+    esc,
+    histogram_rows,
+    html_table,
+    page,
+    sparkline_svg,
+)
+from repro.obs.metrics import BoundedHistogram
+from repro.obs.runlog import RunLog
+from repro.obs.stream import TelemetryStream, read_heartbeat_dir
+
+#: Robust z-score beyond which a point is anomalous (the standard
+#: median/MAD cutoff; 0.6745 rescales MAD to sigma-equivalents).
+ROBUST_Z_CUTOFF = 3.5
+
+#: EWMA smoothing factor for the cross-check trend.
+EWMA_ALPHA = 0.3
+
+#: Relative deviation from the EWMA that corroborates a robust-z flag.
+EWMA_REL_CUTOFF = 0.5
+
+#: Minimum history length before anomaly detection engages.
+MIN_HISTORY = 4
+
+
+def robust_z_scores(series: Sequence[float]) -> List[float]:
+    """Per-point robust z-scores (median/MAD) over ``series``.
+
+    A degenerate series (MAD == 0, e.g. constant history) scores every
+    point 0 unless it differs from the median at all — then it scores
+    the cutoff exactly, so "history was perfectly flat and this point
+    moved" still flags.
+    """
+    ordered = sorted(series)
+    n = len(ordered)
+    if n == 0:
+        return []
+    median = (ordered[n // 2] + ordered[(n - 1) // 2]) / 2.0
+    deviations = sorted(abs(value - median) for value in series)
+    mad = (deviations[n // 2] + deviations[(n - 1) // 2]) / 2.0
+    if mad == 0.0:
+        return [
+            0.0 if value == median else ROBUST_Z_CUTOFF for value in series
+        ]
+    return [0.6745 * (value - median) / mad for value in series]
+
+
+def ewma(series: Sequence[float], alpha: float = EWMA_ALPHA) -> Optional[float]:
+    """Exponentially weighted moving average of ``series`` (None: empty)."""
+    smoothed: Optional[float] = None
+    for value in series:
+        smoothed = value if smoothed is None else alpha * value + (1 - alpha) * smoothed
+    return smoothed
+
+
+def _metric_histories(
+    records: Sequence[Dict[str, Any]],
+) -> Dict[Tuple[str, str], List[float]]:
+    """``(experiment, metric) -> value series`` in append order.
+
+    ``wall_s`` joins the record's metrics as a pseudo-metric so host-time
+    regressions flag alongside fidelity movement.
+    """
+    histories: Dict[Tuple[str, str], List[float]] = {}
+    for record in records:
+        experiment = record.get("experiment")
+        if not isinstance(experiment, str):
+            continue
+        metrics = record.get("metrics")
+        series: Dict[str, Any] = dict(metrics) if isinstance(metrics, dict) else {}
+        series["wall_s"] = record.get("wall_s")
+        for key, value in series.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                histories.setdefault((experiment, key), []).append(float(value))
+    return histories
+
+
+def detect_anomalies(records: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Anomaly advisories over the run history's latest points.
+
+    For every ``(experiment, metric)`` series with at least
+    :data:`MIN_HISTORY` points, the **latest** point is flagged when its
+    robust z-score exceeds :data:`ROBUST_Z_CUTOFF` *and* it deviates from
+    the EWMA of the prior points by more than :data:`EWMA_REL_CUTOFF`
+    relative (both detectors must agree — advisories are cheap to read
+    but expensive to cry wolf with).  Advisory only: never a gate.
+    """
+    advisories: List[Dict[str, Any]] = []
+    for (experiment, metric), series in sorted(_metric_histories(records).items()):
+        if len(series) < MIN_HISTORY:
+            continue
+        z = robust_z_scores(series)[-1]
+        if abs(z) < ROBUST_Z_CUTOFF:
+            continue
+        trend = ewma(series[:-1])
+        latest = series[-1]
+        if trend is None:
+            continue
+        scale = max(abs(trend), 1e-12)
+        rel = (latest - trend) / scale
+        if abs(rel) < EWMA_REL_CUTOFF:
+            continue
+        advisories.append(
+            {
+                "experiment": experiment,
+                "metric": metric,
+                "value": latest,
+                "points": len(series),
+                "robust_z": z,
+                "ewma": trend,
+                "ewma_rel": rel,
+            }
+        )
+    return advisories
+
+
+# --- data assembly ------------------------------------------------------------
+
+
+def _short_rev(record: Dict[str, Any]) -> str:
+    rev = record.get("git_rev")
+    return rev[:10] if isinstance(rev, str) else "-"
+
+
+def _bench_rows(bench_path: Union[str, Path]) -> List[List[str]]:
+    """Bench figures with their policy verdicts (or ``advisory``)."""
+    from repro.regress.policies import bench_policies
+    from repro.regress.report import _load_bench
+
+    benches = _load_bench(bench_path)
+    if benches is None:
+        return []
+    policies = {
+        (policy.bench, policy.metric): policy for policy in bench_policies(None)
+    }
+    rows: List[List[str]] = []
+    for bench, figure in sorted(benches.items()):
+        if not isinstance(figure, dict):
+            continue
+        skip = figure.get("policy_skip")
+        for metric, value in sorted(figure.items()):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            policy = policies.get((bench, metric))
+            if policy is None:
+                verdict = "advisory"
+            elif isinstance(skip, str) and skip:
+                verdict = f"skipped: {skip}"
+            else:
+                outcome = policy.evaluate(float(value))
+                verdict = (
+                    f"ok ({outcome['kind']} {outcome['limit']:g})"
+                    if outcome["within"]
+                    else f"DRIFT ({outcome['kind']} {outcome['limit']:g})"
+                )
+            rows.append([bench, metric, f"{float(value):.6g}", verdict])
+    return rows
+
+
+def build_dashboard(
+    runlog: Optional[RunLog] = None,
+    bench_path: Union[str, Path] = "BENCH_perf.json",
+    heartbeat_dir: Optional[Union[str, Path]] = None,
+    stream: Optional[TelemetryStream] = None,
+    causal: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the dashboard's data (JSON-able except the histograms).
+
+    ``causal`` is a :meth:`repro.obs.causal.CausalReport.as_dict` payload
+    (the per-cause energy view); the CLI supplies one from a fresh
+    observed run unless ``--static``.
+    """
+    runlog = runlog if runlog is not None else RunLog()
+    records = runlog.records()
+
+    duration_hist = BoundedHistogram("run.wall_s")
+    power_hist = BoundedHistogram("run.power_metrics")
+    cache_trend: List[float] = []
+    for record in records:
+        wall = record.get("wall_s")
+        if isinstance(wall, (int, float)) and not isinstance(wall, bool):
+            duration_hist.observe(float(wall))
+        metrics = record.get("metrics")
+        if isinstance(metrics, dict):
+            for key, value in metrics.items():
+                if "power" in key and isinstance(value, (int, float)):
+                    power_hist.observe(float(value))
+        cache = record.get("cache")
+        if isinstance(cache, dict):
+            hits = int(cache.get("hits", 0))
+            misses = int(cache.get("misses", 0))
+            if hits + misses:
+                cache_trend.append(hits / (hits + misses))
+
+    wall_series: Dict[str, List[float]] = {}
+    for record in records:
+        experiment = record.get("experiment")
+        wall = record.get("wall_s")
+        if isinstance(experiment, str) and isinstance(wall, (int, float)):
+            wall_series.setdefault(experiment, []).append(float(wall))
+
+    heartbeats: List[Dict[str, Any]] = []
+    if heartbeat_dir is not None:
+        heartbeats = [payload for _path, payload in read_heartbeat_dir(heartbeat_dir)]
+
+    return {
+        "records": records,
+        "duration_hist": duration_hist,
+        "power_hist": power_hist,
+        "cache_trend": cache_trend,
+        "wall_series": wall_series,
+        "bench_rows": _bench_rows(bench_path),
+        "bench_path": str(bench_path),
+        "heartbeats": heartbeats,
+        "stream": stream.snapshot() if stream is not None else None,
+        "causal": causal,
+        "anomalies": detect_anomalies(records),
+        "runlog_path": str(runlog.path),
+    }
+
+
+# --- rendering ----------------------------------------------------------------
+
+
+def _hist_section(title: str, hist: BoundedHistogram, unit: str) -> List[str]:
+    if hist.count == 0:
+        return []
+    buckets = [
+        (f"≤ {upper:.4g} {unit}", count)
+        for (upper, count) in _bucket_counts(hist)
+    ]
+    return [
+        f"<h2>{esc(title)}</h2>",
+        f"<p>{hist.count} sample(s), mean {hist.mean:.4g} {esc(unit)}, "
+        f"range [{hist.min_value:.4g}, {hist.max_value:.4g}]</p>",
+        html_table(
+            ["bucket", "count", "share", ""],
+            histogram_rows(buckets, hist.count),
+        ),
+    ]
+
+
+def _bucket_counts(hist: BoundedHistogram) -> List[Tuple[float, int]]:
+    """Per-bucket (non-cumulative) counts from the cumulative series."""
+    out: List[Tuple[float, int]] = []
+    previous = 0
+    for upper, cumulative in hist.cumulative_buckets():
+        out.append((upper, cumulative - previous))
+        previous = cumulative
+    return out
+
+
+def render_dashboard(data: Dict[str, Any]) -> str:
+    """The dashboard page, from :func:`build_dashboard` output."""
+    parts: List[str] = []
+    records = data["records"]
+    parts.append(
+        f"<p>{len(records)} run record(s) in "
+        f"<code>{esc(data['runlog_path'])}</code></p>"
+    )
+
+    if data["anomalies"]:
+        parts.append("<h2>Anomaly advisories</h2>")
+        parts.append(
+            html_table(
+                ["experiment", "metric", "latest", "robust z", "vs EWMA", "history"],
+                [
+                    [
+                        a["experiment"],
+                        a["metric"],
+                        f"{a['value']:.6g}",
+                        f"{a['robust_z']:+.2f}",
+                        f"{a['ewma_rel']:+.1%}",
+                        f"{a['points']} runs",
+                    ]
+                    for a in data["anomalies"]
+                ],
+            )
+        )
+
+    if data["heartbeats"]:
+        parts.append("<h2>Live heartbeats</h2>")
+        rows = []
+        for hb in data["heartbeats"]:
+            frac = float(hb.get("frac") or 0.0)
+            rows.append(
+                [
+                    hb.get("source", "?"),
+                    hb.get("label", ""),
+                    f"{hb.get('done', 0)}/{hb.get('total', 0)}",
+                    bar_cell(frac),
+                    f"{float(hb.get('events_per_s') or 0.0):.4g}",
+                    f"{float(hb.get('sim_per_wall') or 0.0):.4g}x",
+                    (
+                        f"{float(hb['eta_s']):.1f}s"
+                        if isinstance(hb.get("eta_s"), (int, float))
+                        else "-"
+                    ),
+                ]
+            )
+        parts.append(
+            html_table(
+                ["source", "experiment", "progress", "", "events/s",
+                 "sim/wall", "eta"],
+                rows,
+            )
+        )
+
+    if records:
+        parts.append("<h2>Run history</h2>")
+        parts.append(
+            html_table(
+                ["experiment", "rev", "wall_s", "cache", "macro"],
+                [
+                    [
+                        record.get("experiment", "?"),
+                        _short_rev(record),
+                        (
+                            f"{record['wall_s']:.4g}"
+                            if isinstance(record.get("wall_s"), (int, float))
+                            else "-"
+                        ),
+                        (
+                            "{hits}h/{misses}m".format(**record["cache"])
+                            if isinstance(record.get("cache"), dict)
+                            and {"hits", "misses"} <= set(record["cache"])
+                            else "-"
+                        ),
+                        (
+                            "compiled"
+                            if isinstance(record.get("macro"), dict)
+                            and record["macro"].get("enabled")
+                            else "exact"
+                        ),
+                    ]
+                    for record in records[-20:]
+                ],
+            )
+        )
+
+    parts.extend(_hist_section("Run durations", data["duration_hist"], "s"))
+    parts.extend(_hist_section("Power metrics", data["power_hist"], ""))
+
+    if data["cache_trend"]:
+        parts.append("<h2>Cache hit-rate trend</h2>")
+        parts.append(
+            html_table(
+                ["runs with cache stats", "latest", "trend"],
+                [
+                    [
+                        len(data["cache_trend"]),
+                        f"{data['cache_trend'][-1]:.1%}",
+                        sparkline_svg(data["cache_trend"]),
+                    ]
+                ],
+            )
+        )
+
+    trajectories = {
+        name: series
+        for name, series in sorted(data["wall_series"].items())
+        if len(series) >= 2
+    }
+    if trajectories:
+        flagged = {
+            (a["experiment"], a["metric"]) for a in data["anomalies"]
+        }
+        parts.append("<h2>Wall-time trajectories</h2>")
+        rows = []
+        for name, series in trajectories.items():
+            flags = [False] * len(series)
+            if (name, "wall_s") in flagged:
+                flags[-1] = True
+            rows.append(
+                [
+                    name,
+                    f"{len(series)} runs",
+                    f"{series[-1]:.4g}s",
+                    sparkline_svg(series, flags=flags),
+                ]
+            )
+        parts.append(html_table(["experiment", "history", "latest", "trend"], rows))
+
+    if data["bench_rows"]:
+        parts.append(
+            f"<h2>Benchmark trajectory ({esc(data['bench_path'])})</h2>"
+        )
+        parts.append(
+            html_table(["bench", "figure", "value", "policy"], data["bench_rows"])
+        )
+
+    causal = data.get("causal")
+    if isinstance(causal, dict) and causal.get("rollups"):
+        total = float(causal.get("total_energy_j") or 0.0)
+        parts.append("<h2>Per-cause energy (fresh observed run)</h2>")
+        parts.append(
+            html_table(
+                ["cause", "energy", "share", "residency", ""],
+                [
+                    [
+                        rollup["cause"],
+                        f"{rollup['energy_j'] * 1e3:.4g} mJ",
+                        f"{rollup['energy_j'] / total:.1%}" if total else "-",
+                        f"{rollup['residency']:.2%}",
+                        bar_cell(rollup["energy_j"] / total if total else 0.0),
+                    ]
+                    for rollup in causal["rollups"]
+                ],
+            )
+        )
+
+    stream_snapshot = data.get("stream")
+    if isinstance(stream_snapshot, dict) and stream_snapshot.get("histograms"):
+        parts.append("<h2>Live stream aggregates</h2>")
+        parts.append(
+            html_table(
+                ["histogram", "count", "mean", "min", "max"],
+                [
+                    [
+                        name,
+                        snap["count"],
+                        f"{snap['total'] / snap['count']:.6g}" if snap["count"] else "-",
+                        f"{snap['min']:.6g}" if snap["min"] is not None else "-",
+                        f"{snap['max']:.6g}" if snap["max"] is not None else "-",
+                    ]
+                    for name, snap in stream_snapshot["histograms"].items()
+                ],
+            )
+        )
+
+    if len(parts) <= 1:
+        parts.append("<p>No telemetry yet: run an experiment first.</p>")
+    return page("repro fleet dashboard", parts)
+
+
+def write_dashboard(path: Union[str, Path], data: Dict[str, Any]) -> Path:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_dashboard(data), encoding="utf-8")
+    return target

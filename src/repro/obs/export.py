@@ -441,7 +441,9 @@ def render_summary(
     histograms = tracer.metrics.histograms()
     if histograms:
         rows = [
-            [name, hist.count, hist.mean, hist.percentile(0.5), hist.percentile(0.95)]
+            [name, hist.count, hist.mean,
+             hist.percentile(0.5) if hist.count else "-",
+             hist.percentile(0.95) if hist.count else "-"]
             for name, hist in histograms.items()
         ]
         sections.append(

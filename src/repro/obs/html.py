@@ -1,0 +1,135 @@
+"""Shared static-HTML building blocks for repro's report and dashboard.
+
+``python -m repro report --html`` and ``python -m repro dash`` emit
+self-contained static pages — no scripts, no external assets, safe to
+archive as CI artifacts.  This module is their common vocabulary:
+escaping, the bordered monospace table, inline SVG sparklines, and
+unicode bar rows for histogram views, plus the page shell both share.
+"""
+
+from __future__ import annotations
+
+from html import escape as esc
+from typing import Iterable, List, Optional, Sequence
+
+#: The house style both pages share (monospace, bordered tables).
+BASE_STYLE = (
+    "body{font-family:monospace;margin:2em}"
+    "table{border-collapse:collapse;margin:1em 0}"
+    "td,th{border:1px solid #999;padding:0.3em 0.8em;text-align:left}"
+    ".bar{color:#369}"
+    ".flag{color:#b00;font-weight:bold}"
+    "svg{vertical-align:middle}"
+)
+
+#: Eight-level unicode bar glyphs for histogram rows.
+_BAR_GLYPHS = " ▁▂▃▄▅▆▇█"
+
+
+def html_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A bordered table; every cell is escaped unless it is a ``Raw``."""
+    head = "".join(f"<th>{esc(str(header))}</th>" for header in headers)
+    body = "".join(
+        "<tr>"
+        + "".join(
+            str(cell) if isinstance(cell, Raw) else f"<td>{esc(str(cell))}</td>"
+            for cell in row
+        )
+        + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+class Raw(str):
+    """A pre-rendered table cell (``<td>…</td>``); skips escaping.
+
+    Only helper output (sparklines, bar strings) should ever be wrapped —
+    never data that originated outside this module.
+    """
+
+
+def bar_cell(fraction: float, width: int = 20) -> Raw:
+    """A unicode bar filling ``fraction`` of ``width`` character cells."""
+    fraction = min(1.0, max(0.0, fraction))
+    whole = int(fraction * width)
+    remainder = fraction * width - whole
+    partial = _BAR_GLYPHS[round(remainder * 8)] if whole < width else ""
+    bar = "█" * whole + partial
+    return Raw(f'<td><span class="bar">{esc(bar)}</span></td>')
+
+
+def sparkline_svg(
+    values: Sequence[float],
+    width: int = 160,
+    height: int = 28,
+    flags: Optional[Sequence[bool]] = None,
+) -> Raw:
+    """An inline SVG polyline over ``values``; flagged points get dots.
+
+    Flat or single-point series render as a midline.  ``flags`` marks
+    anomalous points (see :func:`repro.obs.dash.detect_anomalies`) with
+    red circles.
+    """
+    if not values:
+        return Raw("<td></td>")
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    pad = 3.0
+    inner_w, inner_h = width - 2 * pad, height - 2 * pad
+
+    def point(index: int, value: float) -> tuple:
+        x = pad + (inner_w * index / max(1, len(values) - 1))
+        frac = 0.5 if span == 0 else (value - lo) / span
+        y = pad + inner_h * (1.0 - frac)
+        return x, y
+
+    coords = [point(index, value) for index, value in enumerate(values)]
+    path = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+    extras: List[str] = []
+    if flags is not None:
+        for (x, y), flagged in zip(coords, flags):
+            if flagged:
+                extras.append(
+                    f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.5" fill="#b00"/>'
+                )
+    svg = (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<polyline points="{path}" fill="none" stroke="#369" '
+        'stroke-width="1.5"/>' + "".join(extras) + "</svg>"
+    )
+    return Raw(f"<td>{svg}</td>")
+
+
+def histogram_rows(
+    buckets: Sequence[tuple], total: int, width: int = 20
+) -> List[List[object]]:
+    """``(label, count)`` buckets -> table rows with proportional bars."""
+    rows: List[List[object]] = []
+    peak = max((count for _label, count in buckets), default=0)
+    for label, count in buckets:
+        share = (count / total) if total else 0.0
+        rows.append(
+            [
+                label,
+                count,
+                f"{share:.1%}",
+                bar_cell((count / peak) if peak else 0.0, width=width),
+            ]
+        )
+    return rows
+
+
+def page(title: str, body_parts: Iterable[str], style: str = BASE_STYLE) -> str:
+    """The shared page shell: doctype, charset, style, title heading."""
+    return "".join(
+        [
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+            f"<title>{esc(title)}</title>",
+            f"<style>{style}</style></head><body>",
+            f"<h1>{esc(title)}</h1>",
+            *body_parts,
+            "</body></html>",
+        ]
+    )

@@ -30,12 +30,12 @@ from __future__ import annotations
 
 import argparse
 import json
-from html import escape
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.analysis.report import format_table
 from repro.errors import ConfigError
+from repro.obs.html import esc, html_table, page
 from repro.obs.runlog import RunLog
 from repro.regress.policies import bench_policies, golden_policies
 
@@ -170,6 +170,12 @@ def build_report(
 
     _attach_explains(findings, runlog)
     drift = [finding for finding in findings if not finding["within"]]
+    # anomaly advisories over the whole run history (EWMA + robust-z,
+    # repro.obs.dash): surfaced for humans, never a gate — `ok` and the
+    # exit code depend only on the policy findings above
+    from repro.obs.dash import detect_anomalies
+
+    advisories = detect_anomalies(runlog.records())
     return {
         "schema": REPORT_SCHEMA,
         "runlog": str(runlog.path),
@@ -177,6 +183,7 @@ def build_report(
         "bench_path": str(bench_path),
         "findings": findings,
         "missing": missing,
+        "advisories": advisories,
         "checked": len(findings),
         "drift": len(drift),
         "ok": not drift,
@@ -266,6 +273,25 @@ def render_text(report: Dict[str, Any]) -> str:
             "Drift explainers (latest vs previous recorded run)\n"
             + "\n".join(f"  {line}" for line in explain_lines)
         )
+    advisory_rows = [
+        [
+            advisory["experiment"],
+            advisory["metric"],
+            _fmt(advisory["value"]),
+            f"{advisory['robust_z']:+.2f}",
+            f"{advisory['ewma_rel']:+.1%}",
+            f"{advisory['points']} runs",
+        ]
+        for advisory in report.get("advisories", [])
+    ]
+    if advisory_rows:
+        sections.append(
+            format_table(
+                ["experiment", "metric", "latest", "robust z", "vs EWMA", "history"],
+                advisory_rows,
+                title="Anomaly advisories (history outliers, never a gate)",
+            )
+        )
     if report["missing"]:
         rows = [
             [
@@ -320,15 +346,11 @@ def _explain_lines(report: Dict[str, Any]) -> List[str]:
 
 
 def render_html(report: Dict[str, Any]) -> str:
-    """Minimal static HTML page for the report (no external assets)."""
-    def table(headers: List[str], rows: List[List[str]]) -> str:
-        head = "".join(f"<th>{escape(header)}</th>" for header in headers)
-        body = "".join(
-            "<tr>" + "".join(f"<td>{escape(str(cell))}</td>" for cell in row) + "</tr>"
-            for row in rows
-        )
-        return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+    """Minimal static HTML page for the report (no external assets).
 
+    Built on :mod:`repro.obs.html` — the same table/shell vocabulary the
+    fleet dashboard (``python -m repro dash``) uses.
+    """
     golden_rows = [
         [f["experiment"], f["key"], _fmt(f["paper"]), _fmt(f["measured"]),
          f"{f['delta']:+.4g}", f"{f['kind']} {_fmt(f['tolerance'])}",
@@ -345,38 +367,41 @@ def render_html(report: Dict[str, Any]) -> str:
          entry.get("key") or entry.get("metric", ""), entry["reason"]]
         for entry in report["missing"]
     ]
+    advisory_rows = [
+        [a["experiment"], a["metric"], _fmt(a["value"]),
+         f"{a['robust_z']:+.2f}", f"{a['ewma_rel']:+.1%}", f"{a['points']} runs"]
+        for a in report.get("advisories", [])
+    ]
     verdict = "OK" if report["ok"] else "DRIFT"
     parts = [
-        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
-        "<title>repro regression report</title>",
-        "<style>body{font-family:monospace;margin:2em}",
-        "table{border-collapse:collapse;margin:1em 0}",
-        "td,th{border:1px solid #999;padding:0.3em 0.8em;text-align:left}",
-        "</style></head><body>",
-        f"<h1>repro regression report: {escape(verdict)}</h1>",
         f"<p>{report['checked']} check(s), {report['drift']} drift(s), "
         f"{len(report['missing'])} skipped; {report['records']} run record(s) "
-        f"in <code>{escape(report['runlog'])}</code></p>",
+        f"in <code>{esc(report['runlog'])}</code></p>",
     ]
     if golden_rows:
         parts.append("<h2>Paper-fidelity goldens</h2>")
-        parts.append(table(
+        parts.append(html_table(
             ["experiment", "metric", "paper", "measured", "delta", "tolerance",
              "status"], golden_rows))
     if bench_rows:
-        parts.append(f"<h2>Benchmark policies ({escape(report['bench_path'])})</h2>")
-        parts.append(table(["bench", "figure", "value", "policy", "status"],
-                           bench_rows))
+        parts.append(f"<h2>Benchmark policies ({esc(report['bench_path'])})</h2>")
+        parts.append(html_table(["bench", "figure", "value", "policy", "status"],
+                                bench_rows))
     explain_lines = _explain_lines(report)
     if explain_lines:
         parts.append("<h2>Drift explainers</h2><ul>")
-        parts.extend(f"<li>{escape(line)}</li>" for line in explain_lines)
+        parts.extend(f"<li>{esc(line)}</li>" for line in explain_lines)
         parts.append("</ul>")
+    if advisory_rows:
+        parts.append("<h2>Anomaly advisories (never a gate)</h2>")
+        parts.append(html_table(
+            ["experiment", "metric", "latest", "robust z", "vs EWMA", "history"],
+            advisory_rows))
     if missing_rows:
         parts.append("<h2>Skipped checks</h2>")
-        parts.append(table(["source", "subject", "metric", "reason"], missing_rows))
-    parts.append("</body></html>")
-    return "".join(parts)
+        parts.append(html_table(["source", "subject", "metric", "reason"],
+                                missing_rows))
+    return page(f"repro regression report: {verdict}", parts)
 
 
 def cmd_report(args: argparse.Namespace) -> int:

@@ -1,0 +1,214 @@
+"""Tests for repro.obs.dash and repro.obs.html: the fleet dashboard.
+
+Anomaly detection (robust z + EWMA cross-check), dashboard assembly
+from a synthetic run history, the shared HTML helpers the dashboard and
+``repro report --html`` both build on, and the report's non-gating
+advisory section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.dash import (
+    EWMA_ALPHA,
+    ROBUST_Z_CUTOFF,
+    build_dashboard,
+    detect_anomalies,
+    ewma,
+    render_dashboard,
+    robust_z_scores,
+    write_dashboard,
+)
+from repro.obs.html import Raw, bar_cell, esc, html_table, page, sparkline_svg
+from repro.obs.runlog import RunLog
+from repro.obs.stream import TelemetryStream
+
+
+def _record(experiment="fig2", wall_s=1.0, power=0.070, hits=2, misses=1):
+    return {
+        "experiment": experiment,
+        "wall_s": wall_s,
+        "metrics": {"average_power_w": power},
+        "cache": {"hits": hits, "misses": misses},
+        "git_rev": "deadbeefcafe",
+    }
+
+
+def _seed_runlog(tmp_path, records) -> RunLog:
+    runlog = RunLog(directory=tmp_path / "runs")
+    runlog.append_all(records)
+    return runlog
+
+
+class TestAnomalyDetection:
+    def test_robust_z_flat_history_flags_moved_point(self):
+        scores = robust_z_scores([1.0, 1.0, 1.0, 1.0, 2.0])
+        assert scores[-1] == ROBUST_Z_CUTOFF  # MAD==0 degenerate case
+        assert scores[0] == 0.0
+
+    def test_robust_z_empty(self):
+        assert robust_z_scores([]) == []
+
+    def test_ewma(self):
+        assert ewma([]) is None
+        assert ewma([2.0]) == 2.0
+        assert ewma([0.0, 1.0], alpha=EWMA_ALPHA) == pytest.approx(EWMA_ALPHA)
+
+    def test_outlier_latest_point_flags(self):
+        records = [_record(wall_s=w) for w in (1.0, 1.01, 0.99, 1.0, 10.0)]
+        advisories = detect_anomalies(records)
+        walls = [a for a in advisories if a["metric"] == "wall_s"]
+        assert len(walls) == 1
+        assert walls[0]["experiment"] == "fig2"
+        assert walls[0]["value"] == 10.0
+        assert abs(walls[0]["robust_z"]) >= ROBUST_Z_CUTOFF
+
+    def test_stable_history_stays_quiet(self):
+        records = [_record(wall_s=w) for w in (1.0, 1.02, 0.98, 1.01, 1.0)]
+        assert detect_anomalies(records) == []
+
+    def test_short_history_stays_quiet(self):
+        records = [_record(wall_s=w) for w in (1.0, 1.0, 50.0)]
+        assert detect_anomalies(records) == []
+
+    def test_outlier_mid_history_is_not_flagged(self):
+        """Only the latest point advises — old outliers are history."""
+        records = [_record(wall_s=w) for w in (1.0, 10.0, 1.0, 1.0, 1.0)]
+        assert all(a["metric"] != "wall_s" for a in detect_anomalies(records))
+
+
+class TestHtmlHelpers:
+    def test_html_table_escapes_unless_raw(self):
+        table = html_table(["<h>"], [["<va&lue>", Raw("<td><b>x</b></td>")]])
+        assert "&lt;h&gt;" in table
+        assert "&lt;va&amp;lue&gt;" in table
+        assert "<b>x</b>" in table
+
+    def test_bar_cell_width(self):
+        full = bar_cell(1.0, width=4)
+        assert isinstance(full, Raw)
+        assert "████" in str(full)
+        assert "█" not in str(bar_cell(0.0, width=4))
+
+    def test_sparkline_svg(self):
+        cell = sparkline_svg([1.0, 2.0, 3.0], flags=[False, False, True])
+        assert "<svg" in str(cell) and "polyline" in str(cell)
+        assert "circle" in str(cell)  # flagged point marker
+        flat = sparkline_svg([2.0, 2.0])
+        assert "<svg" in str(flat)  # flat series renders a midline
+
+    def test_page_shell(self):
+        doc = page("T&T", ["<p>x</p>"])
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "T&amp;T" in doc
+        assert "<p>x</p>" in doc
+        assert esc("a<b") == "a&lt;b"
+
+
+class TestDashboard:
+    def test_build_joins_runlog_bench_and_stream(self, tmp_path):
+        runlog = _seed_runlog(
+            tmp_path, [_record(wall_s=1.0), _record(experiment="fig6b", wall_s=2.0)]
+        )
+        stream = TelemetryStream(heartbeat_dir=tmp_path / "hb")
+        stream.histogram("x").observe(1.0)
+        stream.heartbeat("runner", done=1, total=2)
+        data = build_dashboard(
+            runlog=runlog,
+            bench_path=tmp_path / "missing.json",
+            heartbeat_dir=tmp_path / "hb",
+            stream=stream,
+        )
+        assert len(data["records"]) == 2
+        assert data["duration_hist"].count == 2
+        assert data["power_hist"].count == 2
+        assert data["cache_trend"] == [pytest.approx(2 / 3)] * 2
+        assert data["wall_series"] == {"fig2": [1.0], "fig6b": [2.0]}
+        assert data["bench_rows"] == []  # missing bench file tolerated
+        assert [hb["source"] for hb in data["heartbeats"]] == ["runner"]
+        assert data["stream"]["histograms"]["x"]["count"] == 1
+
+    def test_render_dashboard_joins_two_runs(self, tmp_path):
+        """The acceptance anchor: dash.html joins >= 2 runlog records."""
+        runlog = _seed_runlog(
+            tmp_path,
+            [_record(wall_s=w) for w in (1.0, 1.01, 0.99, 1.0, 10.0)],
+        )
+        data = build_dashboard(runlog=runlog, bench_path=tmp_path / "none.json")
+        html_text = render_dashboard(data)
+        assert "Run history" in html_text
+        assert "Run durations" in html_text
+        assert "Anomaly advisories" in html_text  # the 10x outlier
+        assert "Cache hit-rate trend" in html_text
+        assert "Wall-time trajectories" in html_text
+        assert html_text.count("<tr>") > 5
+
+    def test_render_empty_dashboard(self, tmp_path):
+        data = build_dashboard(
+            runlog=RunLog(directory=tmp_path / "empty"),
+            bench_path=tmp_path / "none.json",
+        )
+        assert "No telemetry yet" in render_dashboard(data)
+
+    def test_bench_rows_carry_policy_verdicts(self, tmp_path):
+        bench = tmp_path / "BENCH_perf.json"
+        bench.write_text(
+            '{"benches": {"analyzer_fast_path": {"speedup": 25.0},'
+            ' "unknown_bench": {"figure": 1.0}}}'
+        )
+        data = build_dashboard(
+            runlog=RunLog(directory=tmp_path / "empty"), bench_path=bench
+        )
+        verdicts = {(b, m): v for b, m, _value, v in data["bench_rows"]}
+        assert verdicts[("analyzer_fast_path", "speedup")].startswith("ok (floor")
+        assert verdicts[("unknown_bench", "figure")] == "advisory"
+
+    def test_causal_rollups_render(self, tmp_path):
+        causal = {
+            "total_energy_j": 2.0,
+            "rollups": [
+                {"cause": "timer-wake", "energy_j": 1.5, "residency": 0.75},
+                {"cause": "steady-idle", "energy_j": 0.5, "residency": 0.25},
+            ],
+        }
+        data = build_dashboard(
+            runlog=RunLog(directory=tmp_path / "empty"),
+            bench_path=tmp_path / "none.json",
+            causal=causal,
+        )
+        html_text = render_dashboard(data)
+        assert "Per-cause energy" in html_text
+        assert "timer-wake" in html_text and "75.0%" in html_text
+
+    def test_write_dashboard(self, tmp_path):
+        runlog = _seed_runlog(tmp_path, [_record()])
+        data = build_dashboard(runlog=runlog, bench_path=tmp_path / "none.json")
+        target = write_dashboard(tmp_path / "out" / "dash.html", data)
+        assert target.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestReportAdvisories:
+    def test_report_carries_non_gating_advisories(self, tmp_path):
+        from repro.regress.report import build_report, render_html, render_text
+
+        runlog = _seed_runlog(
+            tmp_path, [_record(wall_s=w) for w in (1.0, 1.01, 0.99, 1.0, 10.0)]
+        )
+        report = build_report(runlog=runlog, bench_path=tmp_path / "none.json")
+        advisories = [a for a in report["advisories"] if a["metric"] == "wall_s"]
+        assert len(advisories) == 1
+        # advisory only: the outlier must not flip the verdict machinery
+        assert all(f["within"] for f in report["findings"] if f["source"] == "golden")
+        text = render_text(report)
+        assert "Anomaly advisories" in text and "never a gate" in text
+        html_text = render_html(report)
+        assert "Anomaly advisories" in html_text
+
+    def test_quiet_history_renders_no_advisory_section(self, tmp_path):
+        from repro.regress.report import build_report, render_text
+
+        runlog = _seed_runlog(tmp_path, [_record(), _record()])
+        report = build_report(runlog=runlog, bench_path=tmp_path / "none.json")
+        assert report["advisories"] == []
+        assert "Anomaly advisories" not in render_text(report)
