@@ -16,6 +16,12 @@ interprocedural unit-dataflow analysis over the sources (``C4xx``),
 following ``_ps``/``_watts``/``_joules`` unit tags across call
 boundaries with a call-graph fixpoint.
 
+An opt-in priced-timed pass (:mod:`repro.check.budgets`, ``--budgets``)
+annotates the compiled transition system with per-step latencies and
+per-state powers probed from one standby cycle, then verifies the
+platform's declared wake-latency budgets, break-even residencies and
+per-cycle energy bounds (``C6xx``).
+
 Explored state spaces are memoized in a process-wide
 :class:`~repro.perf.cache.SimulationCache` keyed by the
 :func:`~repro.perf.fingerprint.fingerprint` of the platform
@@ -37,6 +43,11 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.lint.diagnostics import Diagnostic, sort_diagnostics
 from repro.lint.model import ModelView, walk_model
+from repro.check.budgets import (
+    analyze_budgets,
+    derive_technique_break_even,
+    probe_standby_cycle,
+)
 from repro.check.dataflow import analyze_paths, analyze_source_root, analyze_sources
 from repro.check.effects import (
     EFFECTS_SCHEMA_VERSION,
@@ -63,14 +74,28 @@ class CheckReport:
     diagnostics: List[Diagnostic]
     #: JSON-ready state-space summary (the ``--json`` CI artifact payload).
     state_space: Dict[str, object]
+    #: JSON-ready budget summary of the priced-timed analysis, present
+    #: only when the check ran with ``budgets=True`` (``--budgets``).
+    budgets: Optional[Dict[str, object]] = None
 
 
 def check_model_view(
     view: ModelView,
     invariant_names: Optional[Tuple[str, ...]] = None,
     max_states: int = DEFAULT_MAX_STATES,
+    budgets: bool = False,
+    budget_probes: Optional[Dict[str, Dict[str, Any]]] = None,
+    config: Any = None,
+    techniques: Any = None,
 ) -> CheckReport:
-    """Compile and exhaustively check an already-extracted model view."""
+    """Compile and exhaustively check an already-extracted model view.
+
+    ``budgets=True`` additionally runs the priced-timed budget analysis
+    (C6xx) over the compiled transition system; ``budget_probes`` injects
+    pre-computed pricing (see :func:`repro.check.budgets.analyze_budgets`),
+    and ``config``/``techniques`` parameterize the probe cycle when the
+    prices are not injected.
+    """
     invariants = select_invariants(invariant_names)
     ts, diagnostics = compile_transition_system(view)
     if ts is None:
@@ -86,20 +111,37 @@ def check_model_view(
             },
         )
     result = explore(ts, invariants, max_states=max_states)
-    combined = sort_diagnostics(diagnostics + result.diagnostics)
+    combined = diagnostics + result.diagnostics
+    budget_summary: Optional[Dict[str, object]] = None
+    if budgets:
+        budget_summary, budget_diagnostics = analyze_budgets(
+            view, ts, probes=budget_probes, config=config, techniques=techniques
+        )
+        combined = combined + budget_diagnostics
+    combined = sort_diagnostics(combined)
     summary = result.summary()
     summary["diagnostics"] = len(combined)
-    return CheckReport(diagnostics=combined, state_space=summary)
+    return CheckReport(
+        diagnostics=combined, state_space=summary, budgets=budget_summary
+    )
 
 
 def check_platform(
     platform: Any,
     invariant_names: Optional[Tuple[str, ...]] = None,
     max_states: int = DEFAULT_MAX_STATES,
+    budgets: bool = False,
+    budget_probes: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> CheckReport:
     """Extract the model view from ``platform`` and exhaustively check it."""
     return check_model_view(
-        walk_model(platform), invariant_names=invariant_names, max_states=max_states
+        walk_model(platform),
+        invariant_names=invariant_names,
+        max_states=max_states,
+        budgets=budgets,
+        budget_probes=budget_probes,
+        config=getattr(platform, "config", None),
+        techniques=getattr(platform, "techniques", None),
     )
 
 
@@ -122,6 +164,7 @@ def check_standby_model(
     invariant_names: Optional[Tuple[str, ...]] = None,
     max_states: int = DEFAULT_MAX_STATES,
     cache: Any = None,
+    budgets: bool = False,
 ) -> CheckReport:
     """Check the shipped Skylake platform, memoized by config fingerprint.
 
@@ -146,6 +189,7 @@ def check_standby_model(
         techniques,
         tuple(invariant_names) if invariant_names is not None else None,
         max_states,
+        budgets,
     )
     return cache.get_or_run(
         key,
@@ -153,6 +197,7 @@ def check_standby_model(
             SkylakePlatform(techniques=techniques),
             invariant_names=invariant_names,
             max_states=max_states,
+            budgets=budgets,
         ),
     )
 
@@ -171,6 +216,7 @@ __all__ = [
     "ExploreResult",
     "Invariant",
     "TransitionSystem",
+    "analyze_budgets",
     "analyze_effects_paths",
     "analyze_effects_source_root",
     "analyze_effects_sources",
@@ -181,7 +227,9 @@ __all__ = [
     "check_platform",
     "check_standby_model",
     "compile_transition_system",
+    "derive_technique_break_even",
     "explore",
+    "probe_standby_cycle",
     "select_invariants",
     "state_space_cache",
     "validate_check_payload",

@@ -19,6 +19,11 @@ against:
   cache soundness (an effect reaches a fingerprint-cached result that
   the fingerprint does not capture), ``C511-C514`` parallel-sweep
   safety, and ``C521+`` determinism hygiene (iteration-order escapes).
+* ``C6xx`` — quantitative budget findings of
+  :mod:`repro.check.budgets`: the priced-timed analysis annotates the
+  compiled transition system with per-step latencies and per-state
+  powers, then verifies the declared wake-latency budgets, break-even
+  residencies, and per-cycle energy bounds (``budget_description()``).
 
 Rule ids must never collide with the ``M``/``S`` series; the shared
 registry (:func:`repro.lint.all_rules`) asserts uniqueness in the gate
@@ -182,6 +187,32 @@ C522_RULE = CheckRule(
     "float accumulation over an unordered collection",
 )
 
+# --- C6xx: quantitative budgets (repro.check.budgets) -------------------------
+# The priced-timed analysis prices every transition-system edge with its
+# flow-step latency and every resident state with its power-tree power,
+# then checks the numbers the platform declares via budget_description().
+
+C601_RULE = CheckRule(
+    "C601", "wake-budget-exceeded", Severity.ERROR,
+    "worst-case exit-latency path exceeds the declared wake budget",
+)
+C602_RULE = CheckRule(
+    "C602", "residency-below-break-even", Severity.ERROR,
+    "power state reachable with guaranteed residency below its break-even time",
+)
+C603_RULE = CheckRule(
+    "C603", "break-even-drift", Severity.ERROR,
+    "declared break-even constant disagrees with the derived one beyond tolerance",
+)
+C604_RULE = CheckRule(
+    "C604", "missing-budget-declaration", Severity.ERROR,
+    "deep power state has no parseable budget declaration",
+)
+C605_RULE = CheckRule(
+    "C605", "cycle-energy-above-golden", Severity.ERROR,
+    "per-cycle energy lower bound exceeds the golden figure value",
+)
+
 
 #: The full checker catalog, in catalog order (registry + docs).
 CHECK_RULES: Tuple[CheckRule, ...] = (
@@ -211,6 +242,11 @@ CHECK_RULES: Tuple[CheckRule, ...] = (
     C514_RULE,
     C521_RULE,
     C522_RULE,
+    C601_RULE,
+    C602_RULE,
+    C603_RULE,
+    C604_RULE,
+    C605_RULE,
 )
 
 #: Rule lookup by id (used by the invariant catalog).

@@ -10,9 +10,11 @@ human-readable problem string per violation.
 
 The top-level payload is the lint report envelope (``version``,
 ``counts``, ``diagnostics``) extended with the checker's own sections:
-``state_space`` (per-configuration exploration summaries) and, unless
+``state_space`` (per-configuration exploration summaries), unless
 ``--no-effects`` was passed, ``effects`` (the per-entry-point summary of
-:mod:`repro.check.effects`).
+:mod:`repro.check.effects`), and, when ``--budgets`` was passed,
+``budgets`` (the per-configuration priced-timed summaries of
+:mod:`repro.check.budgets`).
 
 Usage::
 
@@ -164,14 +166,93 @@ def _check_effects(effects: Any) -> Iterator[str]:
         yield "effects.declared: expected list"
 
 
+def _check_budget_state(row: Any, where: str) -> Iterator[str]:
+    yield from _expect(row, (dict,), where)
+    if not isinstance(row, dict):
+        return
+    for key in ("power_w", "entry_energy_j", "exit_energy_j",
+                "worst_entry_latency_ps", "worst_exit_latency_ps",
+                "worst_exit_path", "break_even_s"):
+        if key not in row:
+            yield f"{where}: missing key {key!r}"
+    for key in ("power_w", "entry_energy_j", "exit_energy_j"):
+        if key in row:
+            yield from _expect(row[key], (int, float), f"{where}.{key}")
+    for key in ("worst_entry_latency_ps", "worst_exit_latency_ps"):
+        if row.get(key) is not None and key in row:
+            yield from _expect(row[key], (int,), f"{where}.{key}")
+    path = row.get("worst_exit_path")
+    if path is not None:
+        yield from _expect(path, (list,), f"{where}.worst_exit_path")
+        if isinstance(path, list):
+            for index, hop in enumerate(path):
+                yield from _expect(hop, (str,), f"{where}.worst_exit_path[{index}]")
+    if row.get("break_even_s") is not None and "break_even_s" in row:
+        yield from _expect(row["break_even_s"], (int, float), f"{where}.break_even_s")
+
+
+def _check_budgets(budgets: Any) -> Iterator[str]:
+    yield from _expect(budgets, (dict,), "budgets")
+    if not isinstance(budgets, dict):
+        return
+    for label, summary in budgets.items():
+        where = f"budgets[{label!r}]"
+        yield from _expect(summary, (dict,), where)
+        if not isinstance(summary, dict):
+            continue
+        for key in ("version", "technique_label", "active_power_w",
+                    "deep_states", "ladder", "probe"):
+            if key not in summary:
+                yield f"{where}: missing key {key!r}"
+        if "version" in summary:
+            yield from _expect(summary["version"], (int,), f"{where}.version")
+        if "active_power_w" in summary:
+            yield from _expect(
+                summary["active_power_w"], (int, float), f"{where}.active_power_w"
+            )
+        deep = summary.get("deep_states")
+        if isinstance(deep, dict):
+            for state, row in deep.items():
+                yield from _check_budget_state(row, f"{where}.deep_states[{state!r}]")
+        elif deep is not None:
+            yield f"{where}.deep_states: expected object"
+        ladder = summary.get("ladder")
+        if isinstance(ladder, dict):
+            for state, row in ladder.items():
+                inner = f"{where}.ladder[{state!r}]"
+                yield from _expect(row, (dict,), inner)
+                if isinstance(row, dict):
+                    for key in ("power_w", "exit_latency_ps", "break_even_s"):
+                        if key not in row:
+                            yield f"{inner}: missing key {key!r}"
+        elif ladder is not None:
+            yield f"{where}.ladder: expected object"
+        cycle = summary.get("cycle")
+        if cycle is not None:
+            yield from _expect(cycle, (dict,), f"{where}.cycle")
+            if isinstance(cycle, dict):
+                for key in ("period_s", "energy_lower_bound_j", "golden_limit_j"):
+                    if key not in cycle:
+                        yield f"{where}.cycle: missing key {key!r}"
+                for key in ("period_s", "energy_lower_bound_j"):
+                    if key in cycle:
+                        yield from _expect(
+                            cycle[key], (int, float), f"{where}.cycle.{key}"
+                        )
+
+
 def validate_check_payload(
-    payload: Any, expect_effects: Optional[bool] = None
+    payload: Any,
+    expect_effects: Optional[bool] = None,
+    expect_budgets: Optional[bool] = None,
 ) -> List[str]:
     """Every structural problem in a ``repro check --json`` payload.
 
     Returns an empty list when the payload conforms.  ``expect_effects``
     pins whether the ``effects`` section must (True) or must not (False)
     be present; ``None`` validates it only when present.
+    ``expect_budgets`` does the same for the ``budgets`` section
+    (present only when the check ran with ``--budgets``).
     """
     problems: List[str] = []
     if not isinstance(payload, dict):
@@ -212,4 +293,10 @@ def validate_check_payload(
         problems.append("payload: unexpected key 'effects' (ran with --no-effects)")
     if "effects" in payload:
         problems.extend(_check_effects(payload["effects"]))
+    if expect_budgets is True and "budgets" not in payload:
+        problems.append("payload: missing key 'budgets'")
+    if expect_budgets is False and "budgets" in payload:
+        problems.append("payload: unexpected key 'budgets' (ran without --budgets)")
+    if "budgets" in payload:
+        problems.extend(_check_budgets(payload["budgets"]))
     return problems

@@ -94,6 +94,28 @@ class Chipset:
         """ODRIPS: monitoring moves to the 32.768 kHz clock."""
         self.wake_monitor_component.set_power(self.budget.chipset_wake_monitor_slow_w)
 
+    # --- budget introspection -------------------------------------------------------
+
+    def budget_description(self) -> dict:
+        """Declared worst-case latency allowances of the chipset clocks.
+
+        Flow steps that synchronize to the 32.768 kHz clock (the timer
+        hand-off during entry, the crystal restart during exit) observe a
+        *phase-dependent* edge wait: anywhere between zero and one full
+        slow-clock period.  The priced-timed analysis
+        (:mod:`repro.check.budgets`) adds these allowances on top of the
+        probed step latencies so the worst-case exit path covers every
+        wake phase, not just the one a single probe cycle happened to see.
+        """
+        slow_period_ps = self.slow_clock.period_ps
+        return {
+            "slow_clock_hz": self.slow_clock.effective_hz,
+            "step_allowances_ps": {
+                "entry:clock-shutdown": slow_period_ps,
+                "exit:xtal-restart": slow_period_ps,
+            },
+        }
+
     # --- processor-facing link ------------------------------------------------------
 
     def idle_proc_link(self) -> None:

@@ -437,6 +437,44 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0 if payload["compatible"] else 1
 
 
+def _explain_rule(token: str) -> int:
+    """Print one registered rule's identity and an example diagnostic.
+
+    Shared by ``repro lint --explain`` and ``repro check --explain``:
+    both commands validate patterns against the same registry, so both
+    explain from it too.  Accepts a rule id (``C601``) or name
+    (``wake-budget-exceeded``); unknown rules are a usage error.
+    """
+    from repro import lint as lint_mod
+    from repro.lint.diagnostics import Diagnostic, Location
+
+    entry = None
+    for candidate in lint_mod.rule_catalog():
+        if token in (candidate["rule_id"], candidate["name"]):
+            entry = candidate
+            break
+    if entry is None:
+        print(f"error: unknown rule: {token!r}", file=sys.stderr)
+        print(
+            "hint: pass a rule id (e.g. C601) or name (e.g. "
+            "wake-budget-exceeded); see docs/LINT.md and docs/CHECK.md",
+            file=sys.stderr,
+        )
+        return lint_mod.EXIT_USAGE
+    print(f"{entry['rule_id']} ({entry['name']}) [{entry['severity'].value}]")
+    print(f"  {entry['summary']}")
+    example = Diagnostic(
+        rule=entry["rule_id"],
+        name=entry["name"],
+        severity=entry["severity"],
+        message=entry["summary"],
+        location=Location(obj="<example>"),
+    )
+    print("example diagnostic:")
+    print(f"  {example.render()}")
+    return lint_mod.EXIT_CLEAN
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run every static-analysis pass; exit non-zero on any finding.
 
@@ -450,6 +488,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.errors import ConfigError
     from repro.system.skylake import SkylakePlatform
 
+    if args.explain:
+        return _explain_rule(args.explain)
     select = [token for entry in args.select for token in entry.split(",") if token]
     ignore = [token for entry in args.ignore for token in entry.split(",") if token]
     try:
@@ -512,6 +552,8 @@ def cmd_check(args: argparse.Namespace) -> int:
     from repro.errors import ConfigError
     from repro.lint.astcache import ModuleCache
 
+    if args.explain:
+        return _explain_rule(args.explain)
     select = [token for entry in args.select for token in entry.split(",") if token]
     ignore = [token for entry in args.ignore for token in entry.split(",") if token]
     try:
@@ -534,8 +576,10 @@ def cmd_check(args: argparse.Namespace) -> int:
         print("error: --max-states must be positive", file=sys.stderr)
         return lint_mod.EXIT_USAGE
 
+    run_budgets = getattr(args, "budgets", False)
     diagnostics = []
     state_space: Dict[str, object] = {}
+    budgets: Dict[str, object] = {}
     for label, techniques in (
         ("baseline", TechniqueSet.baseline()),
         ("odrips", TechniqueSet.odrips()),
@@ -544,9 +588,12 @@ def cmd_check(args: argparse.Namespace) -> int:
             techniques=techniques,
             invariant_names=invariant_names,
             max_states=args.max_states,
+            budgets=run_budgets,
         )
         diagnostics.extend(report.diagnostics)
         state_space[label] = report.state_space
+        if report.budgets is not None:
+            budgets[label] = report.budgets
 
     paths = args.path or [_default_lint_root()]
     missing = [path for path in paths if not os.path.exists(path)]
@@ -571,6 +618,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         payload["state_space"] = state_space
         if effects_summary is not None:
             payload["effects"] = effects_summary
+        if run_budgets:
+            payload["budgets"] = budgets
         print(json_mod.dumps(payload, indent=2, sort_keys=True))
     else:
         print(lint_mod.render_text(diagnostics))
@@ -581,6 +630,38 @@ def cmd_check(args: argparse.Namespace) -> int:
                 f"{summary['transitions_taken']} transition(s)"
                 + (" [truncated]" if summary["truncated"] else "")
             )
+        for label in sorted(budgets):
+            summary = budgets[label]
+            for state, row in sorted(summary.get("deep_states", {}).items()):
+                exit_ps = row.get("worst_exit_latency_ps")
+                exit_us = "n/a" if exit_ps is None else f"{exit_ps / 1e6:.1f} us"
+                budget_ps = row.get("wake_budget_ps")
+                budget_us = (
+                    "undeclared" if budget_ps is None else f"{budget_ps / 1e6:.1f} us"
+                )
+                break_even = row.get("break_even_s")
+                break_even_ms = (
+                    "n/a" if break_even is None else f"{break_even * 1e3:.2f} ms"
+                )
+                print(
+                    f"budgets [{label}]: {state} worst exit {exit_us} "
+                    f"(budget {budget_us}), break-even {break_even_ms}"
+                    + (
+                        f" vs {row['break_even_vs']}"
+                        if row.get("break_even_vs")
+                        else ""
+                    )
+                )
+            cycle = summary.get("cycle")
+            if isinstance(cycle, dict):
+                limit = cycle.get("golden_limit_j")
+                limit_text = "n/a" if limit is None else f"{limit:.3f} J"
+                print(
+                    f"budgets [{label}]: cycle energy >= "
+                    f"{cycle['energy_lower_bound_j']:.3f} J "
+                    f"(golden ceiling {limit_text} over "
+                    f"{cycle['period_s']:.3f} s)"
+                )
         if effects_summary is not None:
             entries = effects_summary["entry_points"]
             clean = sum(1 for entry in entries if entry["clean"])
@@ -731,6 +812,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--path", action="append", default=[], metavar="PATH",
         help="lint: source files/directories to check (default: the repro package)",
     )
+    lint_group.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="lint/check: print the registered rule's identity, summary and "
+             "an example diagnostic, then exit (rule id or name)",
+    )
     check_group = parser.add_argument_group("check options")
     check_group.add_argument(
         "--max-states", type=int, default=100_000, metavar="N",
@@ -748,6 +834,16 @@ def build_parser() -> argparse.ArgumentParser:
     check_group.add_argument(
         "--no-effects", dest="effects", action="store_false",
         help="check: skip the C5xx effect/determinism analysis",
+    )
+    check_group.add_argument(
+        "--budgets", dest="budgets", action="store_true", default=False,
+        help="check: run the priced-timed C6xx budget analysis — worst-case "
+             "exit latency, break-even residency and per-cycle energy bounds "
+             "(probes one standby cycle per configuration)",
+    )
+    check_group.add_argument(
+        "--no-budgets", dest="budgets", action="store_false",
+        help="check: skip the C6xx budget analysis (default)",
     )
     explain_group = parser.add_argument_group("explain options")
     explain_group.add_argument(

@@ -69,6 +69,67 @@ def all_rules():
     return pairs
 
 
+def rule_catalog():
+    """Every known rule with its full identity, catalog order.
+
+    Each entry is a dict with ``rule_id``, ``name``, ``severity``
+    (:class:`Severity`) and ``summary``.  This is the registry behind
+    ``repro lint --explain RULE`` / ``repro check --explain RULE``; it
+    covers the same rules as :func:`all_rules`, in the same order.
+    """
+    from repro.check.rules import CHECK_RULES
+    from repro.lint.rules_model import MODEL_RULES
+    from repro.lint.rules_source import SOURCE_RULES
+    from repro.lint.source import S407_NAME, S407_RULE
+
+    entries = [
+        {
+            "rule_id": rule.rule_id,
+            "name": rule.name,
+            "severity": rule.severity,
+            "summary": rule.summary,
+        }
+        for rule in MODEL_RULES
+    ]
+    # M307 and S407 are standalone passes without a *Rule dataclass;
+    # their identity lives here so the explain registry stays complete.
+    entries.append(
+        {
+            "rule_id": M307_RULE,
+            "name": M307_NAME,
+            "severity": Severity.ERROR,
+            "summary": "experiment driver declares no golden-value coverage",
+        }
+    )
+    entries.extend(
+        {
+            "rule_id": rule.rule_id,
+            "name": rule.name,
+            "severity": rule.severity,
+            "summary": rule.summary,
+        }
+        for rule in SOURCE_RULES
+    )
+    entries.append(
+        {
+            "rule_id": S407_RULE,
+            "name": S407_NAME,
+            "severity": Severity.WARNING,
+            "summary": "allow pragma names a rule id that exists in no catalog",
+        }
+    )
+    entries.extend(
+        {
+            "rule_id": rule.rule_id,
+            "name": rule.name,
+            "severity": rule.severity,
+            "summary": rule.summary,
+        }
+        for rule in CHECK_RULES
+    )
+    return entries
+
+
 __all__ = [
     "EXIT_CLEAN",
     "EXIT_DIAGNOSTICS",
@@ -90,6 +151,7 @@ __all__ = [
     "lint_source_text",
     "render_json",
     "render_text",
+    "rule_catalog",
     "sort_diagnostics",
     "validate_rule_patterns",
     "walk_model",

@@ -147,14 +147,24 @@ def validate_rule_patterns(patterns: Sequence[str], known_rules: Sequence[Tuple[
     """Reject selection patterns that can never match a known rule.
 
     ``known_rules`` is a sequence of ``(rule_id, rule_name)`` pairs.
-    Raises :class:`~repro.errors.ConfigError` on an unknown pattern so the
+    Raises :class:`~repro.errors.ConfigError` on unknown patterns so the
     CLI can exit with a usage error instead of silently selecting nothing.
+    Every unknown pattern is reported in one error — a user fixing a
+    typoed ``--select M31,Z999`` list should see all the bad tokens at
+    once, not one per invocation.
     """
-    for pattern in patterns:
+    unknown = [
+        pattern
+        for pattern in patterns
         if not any(
             rule_id.startswith(pattern) or name == pattern for rule_id, name in known_rules
-        ):
-            raise ConfigError(f"unknown lint rule or prefix: {pattern!r}")
+        )
+    ]
+    if len(unknown) == 1:
+        raise ConfigError(f"unknown lint rule or prefix: {unknown[0]!r}")
+    if unknown:
+        listing = ", ".join(repr(pattern) for pattern in unknown)
+        raise ConfigError(f"unknown lint rules or prefixes: {listing}")
 
 
 def filter_diagnostics(

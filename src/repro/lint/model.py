@@ -100,6 +100,13 @@ class ModelView:
     #: support macro-stepping and owes no declaration; a tuple is checked
     #: for full coverage of the live power tree by rule M308.
     macro_ledger_rails: Optional[Tuple[str, ...]] = None
+    #: Declared quantitative budgets (``budget_description()`` hook):
+    #: wake-latency budgets, residency guarantees and tolerances per deep
+    #: power state, plus the chipset/power sub-declarations the
+    #: priced-timed analysis (:mod:`repro.check.budgets`) consumes.  None
+    #: means the platform declares no budgets; rule C604 then fires for
+    #: every reachable deep state.
+    budgets: Optional[Dict[str, Any]] = None
 
     # --- derived views used by several rules -----------------------------
 
@@ -182,6 +189,7 @@ def walk_model(root: Any) -> ModelView:
     view.obs_spans = _obs_spans_of(root)
     view.clock_requirements, view.wake_sources = _safety_of(root)
     view.macro_ledger_rails = _macro_of(root)
+    view.budgets = _budgets_of(root)
     return view
 
 
@@ -250,6 +258,23 @@ def _macro_of(root: Any) -> Optional[Tuple[str, ...]]:
         return None
     spec = describe()
     return tuple(str(name) for name in spec.get("ledger_rails", ()))
+
+
+def _budgets_of(root: Any) -> Optional[Dict[str, Any]]:
+    """Read the platform's declared quantitative budgets (budget hook).
+
+    Platforms without a ``budget_description`` hook declare no budgets
+    and map to None; the priced-timed analysis then reports C604 for
+    every reachable deep power state.  The declaration is returned as-is
+    (a plain dict tree): parsing and validation live with the consumer,
+    :mod:`repro.check.budgets`, so a malformed declaration surfaces as a
+    diagnostic rather than an exception inside the walk.
+    """
+    describe = getattr(root, "budget_description", None)
+    if describe is None:
+        return None
+    spec = describe()
+    return dict(spec) if isinstance(spec, dict) else {"malformed": spec}
 
 
 def lint_model_view(view: ModelView) -> List[Diagnostic]:

@@ -128,6 +128,21 @@ class PowerTree:
         """Instantaneous battery-side platform power in watts."""
         return sum(rail.input_power() for rail in self._rails)
 
+    def budget_description(self) -> Dict[str, object]:
+        """Declared trace channels of the power tree, for the budget probe.
+
+        The priced-timed analysis (:mod:`repro.check.budgets`) integrates
+        per-state and per-flow-step energies out of the recorded power
+        trace; this declaration pins which channel carries the
+        battery-side total and how per-rail channels are named, so the
+        probe reads the tree's contract instead of hard-coding it.
+        """
+        return {
+            "platform_channel": self.PLATFORM_CHANNEL,
+            "rail_channel_prefix": "rail:",
+            "rail_channels": tuple(f"rail:{rail.name}" for rail in self._rails),
+        }
+
     def attributed_breakdown(self) -> Dict[str, float]:
         """Battery-side watts per component, distributing the PD tax.
 

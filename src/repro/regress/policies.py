@@ -96,6 +96,14 @@ BENCH_POLICIES: Tuple[BenchPolicy, ...] = (
         "a fingerprint-cached model check must skip the exploration",
     ),
     BenchPolicy(
+        "check_budgets_statespace", "cold_wall_s", "ceiling", 5.0,
+        "the priced budget analysis runs in CI on every commit and must stay interactive",
+    ),
+    BenchPolicy(
+        "check_budgets_statespace", "speedup", "floor", 10.0,
+        "a fingerprint-cached budget check must skip the probes and exploration",
+    ),
+    BenchPolicy(
         "check_shared_parse", "parse_speedup", "floor", 1.1,
         "one ModuleCache parse must feed every source-analysis pass",
     ),

@@ -478,6 +478,19 @@ class SkylakePlatform:
 
         return {"ledger_rails": MACRO_LEDGER_RAILS}
 
+    def budget_description(self) -> Dict[str, object]:
+        """Declared quantitative budgets, for the priced-timed analysis.
+
+        Wake-latency budgets, residency guarantees, paper break-even
+        constants and the per-cycle energy golden for every deep power
+        state, assembled by :mod:`repro.system.budget` from the system,
+        chipset and power-tree layers.  Consumed by rules C601-C605 of
+        ``repro check --budgets``.
+        """
+        from repro.system.budget import platform_budget_description
+
+        return platform_budget_description(self)
+
     # ------------------------------------------------------------------ queries
 
     def platform_power(self) -> float:

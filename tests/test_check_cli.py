@@ -192,3 +192,68 @@ def test_the_shipped_tree_checks_clean_end_to_end(capsys):
     assert main(["check"]) == EXIT_CLEAN
     out = capsys.readouterr().out
     assert "effects:" in out and "0 with undeclared effects" in out
+
+
+# --- budgets (C6xx) ----------------------------------------------------------
+
+
+def test_budgets_text_mode_prints_the_derived_figures(capsys, clean_module):
+    assert main(["check", "--budgets", "--path", clean_module]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "budgets [baseline]: DRIPS worst exit" in out
+    assert "budgets [odrips]: DRIPS worst exit" in out
+    assert "break-even" in out
+    assert "cycle energy >=" in out
+
+
+def test_budgets_json_carries_the_validated_section(capsys, clean_module):
+    from repro.check.schema import validate_check_payload
+
+    assert main(["check", "--budgets", "--json", "--path", clean_module]) == EXIT_CLEAN
+    payload = json.loads(capsys.readouterr().out)
+    assert validate_check_payload(payload, expect_budgets=True) == []
+    row = payload["budgets"]["odrips"]["deep_states"]["DRIPS"]
+    assert row["worst_exit_latency_ps"] <= row["wake_budget_ps"]
+    assert row["worst_exit_path"][-1] == "EXIT->ACTIVE"
+
+
+def test_json_omits_budgets_by_default(capsys, clean_module):
+    assert main(["check", "--json", "--path", clean_module]) == EXIT_CLEAN
+    payload = json.loads(capsys.readouterr().out)
+    assert "budgets" not in payload
+
+
+def test_c6_is_a_valid_select_pattern(capsys, clean_module):
+    assert main(["check", "--select", "C6", "--path", clean_module]) == EXIT_CLEAN
+
+
+# --- --explain ---------------------------------------------------------------
+
+
+def test_explain_prints_rule_identity_and_example(capsys):
+    assert main(["check", "--explain", "C601"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "C601" in out
+    assert "wake-budget-exceeded" in out
+    assert "example diagnostic:" in out
+
+
+def test_explain_accepts_rule_names(capsys):
+    assert main(["check", "--explain", "residency-below-break-even"]) == EXIT_CLEAN
+    assert "C602" in capsys.readouterr().out
+
+
+def test_explain_unknown_rule_is_a_usage_error(capsys):
+    assert main(["check", "--explain", "Z999"]) == EXIT_USAGE
+    assert "Z999" in capsys.readouterr().err
+
+
+# --- unknown-pattern reporting -----------------------------------------------
+
+
+def test_every_unknown_pattern_is_reported_at_once(capsys, clean_module):
+    code = main(["check", "--select", "Z999,Q888", "--ignore", "X777",
+                 "--path", clean_module])
+    assert code == EXIT_USAGE
+    err = capsys.readouterr().err
+    assert "Z999" in err and "Q888" in err and "X777" in err

@@ -109,3 +109,56 @@ def test_no_effects_payload_validates_without_the_section(tmp_path, capsys):
     assert main(["check", "--json", "--no-effects", "--path", str(module)]) == EXIT_CLEAN
     payload = json.loads(capsys.readouterr().out)
     assert validate_check_payload(payload, expect_effects=False) == []
+
+
+# --- budgets section ---------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def budget_payload(tmp_path_factory):
+    """One real ``repro check --budgets --json`` payload over a clean tree."""
+    root = tmp_path_factory.mktemp("budget_schema")
+    module = root / "clean.py"
+    module.write_text("def run(duration_ps: int) -> int:\n    return duration_ps\n")
+    import io
+    from contextlib import redirect_stdout
+
+    stream = io.StringIO()
+    with redirect_stdout(stream):
+        code = main(["check", "--budgets", "--json", "--path", str(module)])
+    assert code == EXIT_CLEAN
+    return json.loads(stream.getvalue())
+
+
+def test_budget_payload_validates(budget_payload):
+    assert validate_check_payload(budget_payload, expect_budgets=True) == []
+
+
+def test_budget_payload_carries_both_configurations(budget_payload):
+    for label in ("baseline", "odrips"):
+        row = budget_payload["budgets"][label]["deep_states"]["DRIPS"]
+        assert row["worst_exit_latency_ps"] <= row["wake_budget_ps"]
+        assert row["break_even_s"] > 0
+
+
+def test_expect_budgets_true_requires_the_section(live_payload):
+    problems = validate_check_payload(live_payload, expect_budgets=True)
+    assert "payload: missing key 'budgets'" in problems
+
+
+def test_expect_budgets_false_rejects_the_section(budget_payload):
+    problems = validate_check_payload(budget_payload, expect_budgets=False)
+    assert any("unexpected key 'budgets'" in p for p in problems)
+
+
+def test_broken_budget_row_is_reported(budget_payload):
+    payload = copy.deepcopy(budget_payload)
+    del payload["budgets"]["odrips"]["deep_states"]["DRIPS"]["worst_exit_latency_ps"]
+    payload["budgets"]["odrips"]["deep_states"]["DRIPS"]["break_even_s"] = "soon"
+    problems = validate_check_payload(payload)
+    assert any("worst_exit_latency_ps" in p for p in problems)
+    assert any("break_even_s" in p for p in problems)
+
+
+def test_default_payload_has_no_budgets_section(live_payload):
+    assert "budgets" not in live_payload

@@ -82,3 +82,27 @@ def test_rule_name_accepted_as_pattern(clean_module, dirty_module, capsys):
     out = capsys.readouterr().out
     assert code == EXIT_DIAGNOSTICS
     assert "S401" in out and "S402" not in out
+
+
+def test_explain_prints_rule_identity_and_example(capsys):
+    assert main(["lint", "--explain", "M101"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "M101" in out
+    assert "example diagnostic:" in out
+
+
+def test_explain_covers_the_checker_family_too(capsys):
+    assert main(["lint", "--explain", "C605"]) == EXIT_CLEAN
+    assert "cycle-energy-above-golden" in capsys.readouterr().out
+
+
+def test_explain_unknown_rule_is_a_usage_error(capsys):
+    assert main(["lint", "--explain", "Z999"]) == EXIT_USAGE
+    assert "Z999" in capsys.readouterr().err
+
+
+def test_every_unknown_pattern_is_reported_at_once(capsys, clean_module):
+    code = main(["lint", "--select", "Z999,Q888", "--path", clean_module])
+    assert code == EXIT_USAGE
+    err = capsys.readouterr().err
+    assert "Z999" in err and "Q888" in err

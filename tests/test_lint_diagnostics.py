@@ -71,6 +71,16 @@ class TestFiltering:
     def test_validate_accepts_prefixes_and_names(self):
         validate_rule_patterns(["M1", "M305", "float-eq-power", "S"], all_rules())
 
+    def test_validate_reports_every_unknown_pattern_at_once(self):
+        with pytest.raises(ConfigError) as excinfo:
+            validate_rule_patterns(["Z999", "M1", "Q888"], all_rules())
+        message = str(excinfo.value)
+        assert "Z999" in message and "Q888" in message
+        assert "M1" not in message
+
+    def test_validate_accepts_the_budget_family(self):
+        validate_rule_patterns(["C6", "C601", "wake-budget-exceeded"], all_rules())
+
 
 class TestOrderingAndDedupe:
     def test_sorted_by_location_then_rule(self):
